@@ -1,0 +1,39 @@
+"""LLM-as-a-System-Service load analysis (extension experiment).
+
+The deployment-level payoff of fast prefill: at mobile-agent request
+rates, an llm.npu-backed OS service stays interactive where a CPU-engine
+service drowns in queueing.
+"""
+
+from conftest import show_and_archive
+
+from repro.eval import service_engine_comparison, service_load
+
+
+def test_service_capacity_knee(once):
+    table = once(service_load,
+                 inter_arrival_s=(8.0, 4.0, 2.0, 1.0, 0.5),
+                 n_requests=12)
+    show_and_archive(table, "service_load.txt")
+
+    queueing = table.column("mean queueing s")
+    turnaround = table.column("mean turnaround s")
+    # no queueing at sparse arrivals
+    assert queueing[0] == 0
+    # queueing appears and grows past the capacity knee
+    assert queueing[-1] > queueing[-2] > 0
+    assert turnaround[-1] > 2 * turnaround[0]
+
+
+def test_service_engine_comparison(once):
+    table = once(service_engine_comparison, inter_arrival_s=2.0,
+                 n_requests=10)
+    show_and_archive(table, "service_comparison.txt")
+
+    ours = table.row_by_key("llm.npu service")
+    baseline = table.row_by_key("llama.cpp service")
+    # at a 2s arrival gap the llm.npu service doesn't queue at all...
+    assert ours[3] == 0
+    # ...while the CPU-engine service's queueing dominates its turnaround
+    assert baseline[3] > 10 * ours[1]
+    assert baseline[1] > 20 * ours[1]

@@ -1,0 +1,37 @@
+"""Benchmark harness conventions.
+
+Every file regenerates one table/figure of the paper via its
+``repro.eval`` driver, measured once with ``benchmark.pedantic`` (the
+drivers are deterministic simulations — repeated timing rounds would only
+re-measure the same arithmetic), prints the regenerated table, archives it
+under ``benchmarks/results/``, and asserts the paper-shape properties
+(who wins, rough factors, crossovers).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Benchmark a driver with a single round and return its result."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+@pytest.fixture()
+def once(benchmark):
+    def _run(fn, **kwargs):
+        return run_once(benchmark, fn, **kwargs)
+    return _run
+
+
+def show_and_archive(table, filename):
+    """Print a regenerated table and archive it under benchmarks/results."""
+    from repro.eval import archive
+    print()
+    print(table.render())
+    path = archive(table, filename)
+    print(f"[archived: {path}]")

@@ -1,0 +1,52 @@
+"""Chat summarization — decode-heavy workloads and GPU-NPU coordination.
+
+Persona-Chat-style requests have balanced prompt/output lengths, so the
+decode backend matters: llm.npu's prototype decodes on the CPU, and
+switching the float/decode side to the GPU cuts end-to-end latency without
+touching prefill (Figure 18).
+
+Run:  python examples/chat_summary.py
+"""
+
+from repro import LlmNpuEngine, QWEN15_18B, REDMI_K70_PRO, ToyTokenizer
+from repro.core import EngineConfig
+from repro.workloads import chat_dialogue
+
+SUMMARY_TOKENS = 44  # Persona-Chat outputs average 35-57 tokens
+
+
+def main() -> None:
+    tokenizer = ToyTokenizer(vocab_size=QWEN15_18B.vocab_size)
+    dialogue = chat_dialogue(seed=7)
+    prompt_tokens = tokenizer.count(dialogue)
+    print(f"Dialogue: {prompt_tokens} tokens, summary: {SUMMARY_TOKENS} "
+          f"tokens ({QWEN15_18B.name} on {REDMI_K70_PRO.name})\n")
+
+    configs = {
+        "CPU-NPU (paper prototype)": EngineConfig(
+            float_backend="cpu", decode_backend="cpu"),
+        "GPU-NPU (future work)": EngineConfig(
+            float_backend="gpu", decode_backend="gpu"),
+    }
+
+    print(f"{'coordination':28s} {'prefill':>9s} {'decode':>9s} {'e2e':>8s}")
+    results = {}
+    for name, config in configs.items():
+        engine = LlmNpuEngine(QWEN15_18B, REDMI_K70_PRO, config)
+        report = engine.infer(prompt_tokens, SUMMARY_TOKENS)
+        results[name] = report
+        print(f"{name:28s} {report.prefill_latency_s:8.2f}s "
+              f"{report.decode_latency_s:8.2f}s "
+              f"{report.e2e_latency_s:7.2f}s")
+
+    cpu = results["CPU-NPU (paper prototype)"]
+    gpu = results["GPU-NPU (future work)"]
+    print(f"\nPrefill barely moves ({cpu.prefill_latency_s:.2f}s vs "
+          f"{gpu.prefill_latency_s:.2f}s): the float work hides under the "
+          "NPU either way (Fig. 18a).")
+    print(f"End-to-end drops {cpu.e2e_latency_s - gpu.e2e_latency_s:.2f}s "
+          "from the faster GPU decode backend (Fig. 18b).")
+
+
+if __name__ == "__main__":
+    main()

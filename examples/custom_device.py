@@ -1,0 +1,62 @@
+"""Custom device exploration — the paper's hardware-design implications.
+
+§5 of the paper lists NPU hardware changes that would help on-device LLMs:
+bigger data caches, dynamic-shape support, mixed-precision units.  Because
+this reproduction's devices are declarative cost models, "what-if" devices
+are one `scaled()` call away.  This example sweeps hypothetical NPUs and
+shows where prefill stops being NPU-bound.
+
+Run:  python examples/custom_device.py
+"""
+
+import dataclasses
+
+from repro import LlmNpuEngine, QWEN15_18B
+from repro.hw import DType, REDMI_K70_PRO
+
+
+def with_npu_speedup(device, factor: float):
+    """A derivative device whose NPU is `factor`x faster."""
+    return device.scaled(
+        name=f"{device.name} (NPU x{factor:g})",
+        soc=device.soc,
+        cpu_gpu=1.0,
+        npu=factor,
+        dram_bytes=device.dram_bytes,
+    )
+
+
+def main() -> None:
+    print(f"Sweeping hypothetical NPUs for {QWEN15_18B.name}, "
+          "1024-token prefill\n")
+    print(f"{'device':32s} {'prefill tok/s':>13s} {'NPU busy':>9s} "
+          f"{'CPU busy':>9s} {'bottleneck':>11s}")
+
+    for factor in (0.5, 1.0, 2.0, 4.0, 8.0):
+        device = with_npu_speedup(REDMI_K70_PRO, factor)
+        engine = LlmNpuEngine(QWEN15_18B, device)
+        report = engine.prefill(1024)
+        bottleneck = ("NPU" if report.npu_busy_s > report.float_busy_s
+                      else "CPU")
+        print(f"{device.name:32s} {report.tokens_per_s:13.0f} "
+              f"{report.npu_busy_s:8.2f}s {report.float_busy_s:8.2f}s "
+              f"{bottleneck:>11s}")
+
+    print("\nPast a few x of NPU speedup the CPU-side float attention "
+          "becomes the critical path — the reason the paper's future-work "
+          "section wants GPU coordination and mixed-precision NPU units.")
+
+    # A device with a bigger NPU-addressable region (design implication 2):
+    big_region = dataclasses.replace(
+        REDMI_K70_PRO, name="K70 Pro (12 GiB NPU region)",
+        npu_region_bytes=12 * 1024**3,
+    )
+    memory = big_region.memory()
+    print(f"\n{big_region.name}: NPU region fits LLaMA-7B INT8 weights? "
+          f"{memory.npu.would_fit(7 * 1024**3)}")
+    print(f"{REDMI_K70_PRO.name}: "
+          f"{REDMI_K70_PRO.memory().npu.would_fit(7 * 1024**3)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Automated email reply — long-context prefill dominance (Figure 1).
+
+A reply assistant ingests the mailbox history (~1500 tokens, LongBench
+range) and writes a short reply.  On CPU/GPU engines almost all the time
+goes to the prefill stage; this example reproduces the Figure 1 breakdown
+and shows how llm.npu changes it.
+
+Run:  python examples/email_reply.py
+"""
+
+from repro import LlmNpuEngine, GEMMA_2B, REDMI_K70_PRO, ToyTokenizer
+from repro.baselines import LlamaCppEngine, TfliteEngine
+from repro.workloads import email_history
+
+REPLY_TOKENS = 3  # LongBench 2wiki outputs are 2-4 tokens
+
+
+def bar(fraction: float, width: int = 36) -> str:
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    tokenizer = ToyTokenizer(vocab_size=GEMMA_2B.vocab_size)
+    mailbox = email_history(seed=42)
+    prompt_tokens = tokenizer.count(mailbox)
+    print(f"Mailbox context: {prompt_tokens} tokens "
+          f"({GEMMA_2B.name} on {REDMI_K70_PRO.name})\n")
+
+    engines = {
+        "llama.cpp-CPU": LlamaCppEngine(GEMMA_2B, REDMI_K70_PRO),
+        "TFLite-GPU": TfliteEngine(GEMMA_2B, REDMI_K70_PRO),
+        "llm.npu": LlmNpuEngine(GEMMA_2B, REDMI_K70_PRO),
+    }
+
+    print(f"{'engine':16s} {'prefill':>9s} {'decode':>8s} {'e2e':>8s}  "
+          "prefill share")
+    for name, engine in engines.items():
+        report = engine.infer(prompt_tokens, REPLY_TOKENS)
+        share = report.prefill_latency_s / report.e2e_latency_s
+        print(f"{name:16s} {report.prefill_latency_s:8.2f}s "
+              f"{report.decode_latency_s:7.2f}s {report.e2e_latency_s:7.2f}s"
+              f"  [{bar(share)}] {share:.0%}")
+
+    print("\nFigure 1's point: prefill is 88-99% of end-to-end latency on "
+          "mobile CPUs for context-heavy tasks — which is why llm.npu "
+          "targets the prefill stage with NPU offloading.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quantization playground — real numerics on a synthetic model.
+
+Quantizes the same synthetic transformer with every scheme in the library
+and scores each against the FP32 reference (teacher agreement), then shows
+the llm.npu-specific trade-off: outlier pruning rate vs accuracy.
+
+Run:  python examples/quantization_playground.py
+"""
+
+import numpy as np
+
+from repro.model import build_synthetic_model, tiny_config
+from repro.quant import SCHEMES, quantize_model, top1_agreement
+from repro.quant.observers import calibrate
+from repro.workloads import calibration_corpus, heldout_sequences
+
+
+def main() -> None:
+    config = tiny_config(n_layers=16, hidden_size=96, n_heads=4,
+                         ffn_hidden=256)
+    print(f"Substrate: {config.n_layers}-layer, {config.hidden_size}-wide "
+          "synthetic transformer with injected outlier channels\n")
+
+    reference = build_synthetic_model(config, seed=7)
+    corpus = calibration_corpus(config, seed=7)
+    heldout = heldout_sequences(config, seed=1000)
+    ref_logits = np.concatenate([reference.prefill(ids) for ids in heldout])
+    calib = calibrate(reference, corpus, channel_percentile=97.9)
+
+    print(f"{'scheme':14s} {'top-1 agreement':>16s} {'weight bytes':>13s}")
+    for scheme in SCHEMES:
+        model = build_synthetic_model(config, seed=7)
+        if scheme == "fp16":
+            report = quantize_model(model, "fp16")
+        else:
+            report = quantize_model(model, scheme, calibration=calib)
+        logits = np.concatenate([model.prefill(ids) for ids in heldout])
+        agreement = top1_agreement(ref_logits, logits)
+        print(f"{scheme:14s} {agreement:15.1%} {report.weight_bytes:>13,d}")
+
+    print("\nllm.npu pruning-rate sweep (the Fig. 16 trade-off):")
+    print(f"{'pruning rate':>12s} {'agreement':>10s} {'shadow layers':>14s}")
+    for rate in (0.0, 0.5, 0.85, 0.95, 1.0):
+        model = build_synthetic_model(config, seed=7)
+        report = quantize_model(model, "llm.npu", calibration=calib,
+                                pruning_rate=rate)
+        logits = np.concatenate([model.prefill(ids) for ids in heldout])
+        agreement = top1_agreement(ref_logits, logits)
+        kept = len(report.pruning_plan.kept_layers)
+        print(f"{rate:12.0%} {agreement:9.1%} {kept:>14d}")
+
+    print("\nThe 85% default keeps only the important (first/last) layers' "
+          "shadow execution — nearly free accuracy-wise, while eliminating "
+          "most CPU-NPU synchronization.")
+
+
+if __name__ == "__main__":
+    main()

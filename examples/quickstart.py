@@ -1,0 +1,41 @@
+"""Quickstart: simulate llm.npu inference and compare with a baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LlmNpuEngine, QWEN15_18B, REDMI_K70_PRO
+from repro.baselines import LlamaCppEngine
+
+
+def main() -> None:
+    # Build the llm.npu engine: this performs the "preparation stage" —
+    # chunk-sharing graphs (chunk length 256), shadow-outlier profiles
+    # with the default 85% importance pruning, hot-channel cache sizing.
+    engine = LlmNpuEngine(QWEN15_18B, REDMI_K70_PRO)
+    print(f"preparation (one-time graph build+optimize): "
+          f"{engine.preparation_s():.1f}s")
+    print(f"unpruned shadow layers: {engine.n_unpruned_layers()} "
+          f"of {QWEN15_18B.n_layers}\n")
+
+    # Simulate one request: a 1024-token prompt, 8 output tokens.
+    report = engine.infer(prompt_tokens=1024, output_tokens=8)
+    print(report.summary())
+    print(f"  chunks: {report.prefill.n_chunks}  "
+          f"padding: {report.prefill.padded_tokens} tokens")
+    print(f"  NPU bubble rate: {report.prefill.npu_bubble_rate:.1%}")
+    print(f"  memory: {report.memory_bytes / 2**30:.2f} GiB\n")
+
+    # The same request on llama.cpp's CPU path.
+    baseline = LlamaCppEngine(QWEN15_18B, REDMI_K70_PRO)
+    base_report = baseline.infer(prompt_tokens=1024, output_tokens=8)
+    print(base_report.summary())
+
+    speedup = base_report.prefill_latency_s / report.prefill_latency_s
+    print(f"\nllm.npu prefill speedup over llama.cpp-CPU: {speedup:.1f}x")
+    energy_ratio = (base_report.extras["prefill_energy_j"]
+                    / report.extras["prefill_energy_j"])
+    print(f"llm.npu prefill energy saving:              {energy_ratio:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` requires bdist_wheel (PEP 660); this offline environment
+lacks the wheel module, so `python setup.py develop` provides the editable
+install instead. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

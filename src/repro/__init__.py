@@ -1,0 +1,86 @@
+"""repro — a reproduction of "Fast On-device LLM Inference with NPUs"
+(llm.npu, ASPLOS 2025).
+
+The library implements the paper's full system stack in Python:
+
+* :mod:`repro.model` — a decoder-only transformer substrate (numpy) with
+  chunked prefill, KV cache, and synthetic weights with realistic
+  activation-outlier structure;
+* :mod:`repro.quant` — six quantization schemes (per-tensor, per-group
+  K-Quant style, SmoothQuant, LLM.int8(), AWQ-style, and llm.npu's
+  shadow-outlier per-tensor scheme) plus calibration and importance pruning;
+* :mod:`repro.hw` — a mobile SoC simulator (CPU/GPU/NPU latency, energy and
+  memory models calibrated against the paper's published micro-benchmarks,
+  plus a discrete-event execution engine);
+* :mod:`repro.graph` — operator IR, backend partitioning, and the
+  chunk-sharing graph construction of §3.2;
+* :mod:`repro.core` — the llm.npu engine: chunked prefill, shadow outlier
+  execution (§3.3), hot-channel caching, importance pruning, and the
+  out-of-order subgraph scheduler (§3.4);
+* :mod:`repro.baselines` — simulated llama.cpp / MNN / TFLite / MLC /
+  PowerInfer-V2 engines for the paper's comparisons;
+* :mod:`repro.workloads` — synthetic DroidTask / LongBench / Persona-Chat
+  workload generators and accuracy benchmarks;
+* :mod:`repro.eval` — drivers that regenerate every table and figure of the
+  paper's evaluation section.
+
+Quickstart::
+
+    from repro import LlmNpuEngine, QWEN15_18B, REDMI_K70_PRO
+
+    engine = LlmNpuEngine.build(QWEN15_18B, REDMI_K70_PRO)
+    report = engine.infer(prompt_tokens=1024, output_tokens=8)
+    print(report.prefill_latency_s, report.prefill_tokens_per_s)
+"""
+
+from repro.errors import ReproError
+from repro.model import (
+    GEMMA_2B,
+    LLAMA2_7B,
+    MISTRAL_7B,
+    PAPER_MODELS,
+    PHI2_27B,
+    QWEN15_18B,
+    DecoderModel,
+    ModelConfig,
+    OutlierSpec,
+    ToyTokenizer,
+    build_synthetic_model,
+    get_model_config,
+    tiny_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ModelConfig",
+    "get_model_config",
+    "tiny_config",
+    "PAPER_MODELS",
+    "QWEN15_18B",
+    "GEMMA_2B",
+    "PHI2_27B",
+    "LLAMA2_7B",
+    "MISTRAL_7B",
+    "DecoderModel",
+    "OutlierSpec",
+    "build_synthetic_model",
+    "ToyTokenizer",
+    "LlmNpuEngine",
+    "REDMI_K60_PRO",
+    "REDMI_K70_PRO",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` light and avoid circular imports
+    # while the heavier subsystems (hw, core) pull in the whole stack.
+    if name == "LlmNpuEngine":
+        from repro.core.engine import LlmNpuEngine
+        return LlmNpuEngine
+    if name in ("REDMI_K60_PRO", "REDMI_K70_PRO"):
+        from repro.hw import soc
+        return getattr(soc, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

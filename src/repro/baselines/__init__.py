@@ -1,0 +1,26 @@
+"""Baseline inference engines for the paper's comparisons."""
+
+from repro.baselines.base import BaselineEngine, BaselineProfile
+from repro.baselines.engines import (
+    BASELINES,
+    LlamaCppEngine,
+    MlcEngine,
+    MnnEngine,
+    NaiveNpuEngine,
+    PowerInferV2Engine,
+    TfliteEngine,
+    make_baseline,
+)
+
+__all__ = [
+    "BaselineEngine",
+    "BaselineProfile",
+    "BASELINES",
+    "make_baseline",
+    "LlamaCppEngine",
+    "MnnEngine",
+    "TfliteEngine",
+    "MlcEngine",
+    "PowerInferV2Engine",
+    "NaiveNpuEngine",
+]

@@ -1,0 +1,171 @@
+"""Common machinery for the baseline engines (§4.1).
+
+Each baseline is modelled *structurally* over the same hardware simulator:
+its processor choice, quantization layout, graph handling, and scheduling
+discipline are implemented; what remains — kernel quality differences
+between engines sharing a strategy (e.g. llama.cpp vs MNN on the same
+CPU) — is captured by per-stage ``efficiency`` scalars calibrated against
+the paper's published gaps (Figures 14–15, Table 5).  Every efficiency
+constant is documented at its definition in the concrete engine modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.decode import DecodeOptions, decode_latency_s
+from repro.core.results import InferenceReport, PrefillReport
+from repro.errors import EngineError
+from repro.hw.latency import (
+    MatMulShape,
+    attention_latency,
+    matmul_latency,
+    norm_latency,
+    per_group_matmul_latency,
+    quantize_latency,
+)
+from repro.hw.processor import DType, ProcessorSpec
+from repro.hw.soc import SocSpec
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class BaselineProfile:
+    """Structural description of one baseline engine."""
+
+    name: str
+    prefill_proc: str
+    decode_proc: str
+    weight_dtype: DType = DType.INT8
+    per_group: bool = False
+    group_size: int = 32
+    quantize_activations: bool = True
+    prefill_efficiency: float = 1.0
+    decode_efficiency: float = 1.0
+    int8_weights_in_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.prefill_efficiency <= 0 or self.decode_efficiency <= 0:
+            raise EngineError(f"{self.name}: efficiencies must be positive")
+
+
+class BaselineEngine:
+    """A single-processor engine: whole-prompt prefill, serial decode.
+
+    Mobile CPU/GPU engines process the prompt as one batch (no chunking —
+    they have no static-shape constraint) and run every operator on their
+    single compute processor, so prefill latency is the serial sum of the
+    per-operator latencies divided by the engine's kernel efficiency.
+    """
+
+    def __init__(self, model: ModelConfig, device: SocSpec,
+                 profile: BaselineProfile):
+        self.model = model
+        self.device = device
+        self.profile = profile
+        if profile.prefill_proc not in device.processors:
+            raise EngineError(f"unknown processor {profile.prefill_proc!r}")
+        self.proc: ProcessorSpec = device.processors[profile.prefill_proc]
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # -- prefill ---------------------------------------------------------------
+
+    def _matmul_s(self, m: int, k: int, n: int) -> float:
+        shape = MatMulShape(m, k, n)
+        if self.profile.per_group:
+            return per_group_matmul_latency(
+                self.proc, shape, self.profile.group_size,
+                self.profile.weight_dtype,
+            )
+        return matmul_latency(self.proc, shape, self.profile.weight_dtype)
+
+    def prefill_latency_s(self, prompt_tokens: int) -> float:
+        """Serial whole-prompt prefill on the engine's processor."""
+        if prompt_tokens <= 0:
+            raise EngineError("prompt_tokens must be positive")
+        cfg = self.model
+        m, h, f = prompt_tokens, cfg.hidden_size, cfg.ffn_hidden
+        n_up = 2 if cfg.gated_ffn else 1
+        per_layer = (
+            self._matmul_s(m, h, cfg.q_dim)
+            + 2 * self._matmul_s(m, h, cfg.kv_dim)
+            + attention_latency(self.proc, m, m, cfg.n_heads,
+                                cfg.dim_per_head)
+            + self._matmul_s(m, cfg.q_dim, h)
+            + n_up * self._matmul_s(m, h, f)
+            + self._matmul_s(m, f, h)
+            + 2 * norm_latency(self.proc, m, h)
+        )
+        if self.profile.quantize_activations:
+            per_layer += 2 * quantize_latency(self.proc, m, h)
+        total = cfg.n_layers * per_layer
+        return total / self.profile.prefill_efficiency
+
+    def prefill(self, prompt_tokens: int) -> PrefillReport:
+        latency = self.prefill_latency_s(prompt_tokens)
+        return PrefillReport(
+            prompt_tokens=prompt_tokens,
+            padded_tokens=0,
+            n_chunks=1,
+            latency_s=latency,
+        )
+
+    # -- decode ------------------------------------------------------------------
+
+    def decode(self, prompt_tokens: int, output_tokens: int) -> float:
+        options = DecodeOptions(
+            backend=self.profile.decode_proc,
+            weight_dtype=self.profile.weight_dtype,
+            per_group=self.profile.per_group,
+            group_size=self.profile.group_size,
+            efficiency=self.profile.decode_efficiency,
+        )
+        proc = self.device.processors[self.profile.decode_proc]
+        return decode_latency_s(self.model, proc, prompt_tokens,
+                                output_tokens, options)
+
+    # -- end-to-end ----------------------------------------------------------------
+
+    def infer(self, prompt_tokens: int,
+              output_tokens: int = 0) -> InferenceReport:
+        prefill = self.prefill(prompt_tokens)
+        decode_s = self.decode(prompt_tokens, output_tokens)
+        energy_model = self.device.energy_model()
+        busy: Dict[str, float] = {
+            self.profile.prefill_proc: prefill.latency_s,
+        }
+        busy[self.profile.decode_proc] = (
+            busy.get(self.profile.decode_proc, 0.0) + decode_s
+        )
+        makespan = prefill.latency_s + decode_s
+        energy = energy_model.energy(busy, makespan)
+        prefill_energy = energy_model.energy(
+            {self.profile.prefill_proc: prefill.latency_s},
+            prefill.latency_s,
+        ).total_j
+        return InferenceReport(
+            engine=self.name,
+            model=self.model.name,
+            device=self.device.name,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            prefill=prefill,
+            decode_latency_s=decode_s,
+            energy=energy,
+            memory_bytes=self.memory_bytes(prompt_tokens + output_tokens),
+            extras={"prefill_energy_j": prefill_energy},
+        )
+
+    def memory_bytes(self, total_tokens: int) -> int:
+        """Weights + one activation workspace + KV cache."""
+        from repro.graph.memory_plan import kv_cache_bytes
+        bpw = self.profile.weight_dtype.bytes
+        weights = self.model.param_count(include_embeddings=False) * bpw
+        workspace = (self.model.hidden_size + self.model.ffn_hidden) \
+            * max(total_tokens, 1) * 4
+        kv = kv_cache_bytes(self.model, max(total_tokens, 1))
+        return int(weights + workspace + kv)

@@ -1,0 +1,223 @@
+"""The five baseline engines of the paper's evaluation (§4.1).
+
+Each baseline is modelled by its *strategy* — processor, quantization
+layout, graph handling, scheduling — over the same device cost models that
+drive llm.npu.  Residual kernel-quality differences between engines that
+share a strategy are one documented ``efficiency`` scalar per stage,
+calibrated against two anchors:
+
+* absolute throughputs the paper reports for the baselines themselves
+  (Table 5: llama.cpp prefills Qwen1.5-1.8B at ~59 tok/s; TFLite decodes
+  Gemma-2B at ~60-90 ms/token; ...), and
+* the relative gaps of Figure 14 (prompt 1024, Redmi K70 Pro):
+  llama.cpp-CPU 18.2-38.4x slower than llm.npu, MNN-CPU 7.3x,
+  MLC-GPU 32.5-43.6x, TFLite-GPU 1.27-2.34x, PowerInfer-V2 3.28-5.32x.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.baselines.base import BaselineEngine, BaselineProfile
+from repro.core.engine import EngineConfig, LlmNpuEngine
+from repro.core.results import InferenceReport, PrefillReport
+from repro.errors import EngineError
+from repro.hw.processor import DType
+from repro.hw.soc import SocSpec, get_device
+from repro.model.config import ModelConfig, get_model_config
+
+
+def _resolve(model, device):
+    if isinstance(model, str):
+        model = get_model_config(model)
+    if isinstance(device, str):
+        device = get_device(device)
+    return model, device
+
+
+class LlamaCppEngine(BaselineEngine):
+    """llama.cpp: CPU-only, K-Quant per-group INT8.
+
+    Prefill efficiency 0.42: llama.cpp's K-Quant path dequantizes weights
+    on the fly inside the GEMM micro-kernel rather than running a clean
+    INT8 GEMM, reaching less than half of the device's Table 3 INT8
+    throughput — calibrated so Qwen1.5-1.8B prefills at the ~59 tok/s the
+    paper's Table 5 measures for llama.cpp on the Redmi K70 Pro.
+    """
+
+    def __init__(self, model, device):
+        model, device = _resolve(model, device)
+        super().__init__(model, device, BaselineProfile(
+            name="llama.cpp-CPU",
+            prefill_proc="cpu",
+            decode_proc="cpu",
+            per_group=True,
+            group_size=32,
+            prefill_efficiency=0.42,
+            decode_efficiency=1.0,
+        ))
+
+
+class MnnEngine(BaselineEngine):
+    """MNN: CPU-only, per-tensor INT8 with heavily optimized GEMM kernels.
+
+    Prefill efficiency 0.85 (near the Table 3 CPU INT8 envelope — MNN's
+    hand-written assembly kernels are the best mobile-CPU GEMMs around),
+    making it ~2.5x faster than llama.cpp at prefill, the gap the paper
+    shows in Fig. 14.  Decode efficiency 0.4: Table 5 shows MNN decoding
+    2-3x *slower* than llama.cpp (its runtime is optimized for batched
+    vision workloads, not autoregressive GEMV).
+    """
+
+    def __init__(self, model, device):
+        model, device = _resolve(model, device)
+        super().__init__(model, device, BaselineProfile(
+            name="MNN-CPU",
+            prefill_proc="cpu",
+            decode_proc="cpu",
+            per_group=False,
+            prefill_efficiency=0.85,
+            decode_efficiency=0.4,
+        ))
+
+
+class TfliteEngine(BaselineEngine):
+    """TFLite: GPU FP16 delegate.
+
+    Efficiency 1.25 — the GPU FP16 profile is fitted against the paper's
+    Table 3 single-MatMul measurements; TFLite's delegate additionally
+    fuses activations/norms into the GEMM kernels and pipelines weight
+    uploads, buying ~25% over the isolated-op envelope.  This is the strongest baseline (Fig. 14: only 1.3-2.3x
+    behind llm.npu) and also the decode-speed leader among baselines.
+    """
+
+    def __init__(self, model, device):
+        model, device = _resolve(model, device)
+        super().__init__(model, device, BaselineProfile(
+            name="TFLite-GPU",
+            prefill_proc="gpu",
+            decode_proc="gpu",
+            weight_dtype=DType.FP16,
+            quantize_activations=False,
+            prefill_efficiency=1.25,
+            decode_efficiency=1.0,
+        ))
+
+
+class MlcEngine(BaselineEngine):
+    """MLC-LLM: GPU via TVM-compiled kernels.
+
+    Prefill efficiency 0.068: MLC's auto-generated OpenCL kernels achieve
+    a small fraction of the Adreno's envelope on these GEMM shapes
+    (the paper measures MLC 14-19x slower than TFLite on the same GPU:
+    Fig. 14 shows 32.5-43.6x vs llm.npu where TFLite is 1.3-2.3x).
+    Decode efficiency 1.2: Table 5 shows MLC decoding slightly *faster*
+    than llama.cpp (0.17 s vs 0.24 s for the same samples) — GEMV
+    compiles well.
+    """
+
+    def __init__(self, model, device):
+        model, device = _resolve(model, device)
+        super().__init__(model, device, BaselineProfile(
+            name="MLC-GPU",
+            prefill_proc="gpu",
+            decode_proc="gpu",
+            weight_dtype=DType.FP16,
+            quantize_activations=False,
+            prefill_efficiency=0.068,
+            decode_efficiency=1.2,
+        ))
+
+
+class PowerInferV2Engine:
+    """PowerInfer-V2: NPU prefill without llm.npu's techniques (§6).
+
+    Modelled structurally as chunked NPU prefill with per-group (g=128)
+    quantization — PI-v2 keeps accuracy with group-quantized weights, so
+    its NPU MatMuls pay the sub-MatMul decomposition penalty — and coarse
+    chunk-order pipelining (no fine-grained out-of-order subgraph
+    scheduling and no Eq. 5 heuristic).
+    The paper measures llm.npu 3.28-5.32x faster at prefill and ~equal at
+    decode (both use a CPU decode backend).
+    """
+
+    name = "PowerInfer-V2-NPU"
+
+    def __init__(self, model, device):
+        model, device = _resolve(model, device)
+        self.model = model
+        self.device = device
+        self._inner = LlmNpuEngine(model, device, EngineConfig(
+            chunking=True,
+            quant_mode="per-group",
+            group_size=128,
+            policy="chunk-order",  # coarse pipelining, no fine-grained OOO
+            equivalent_shapes=False,
+        ))
+
+    def prefill(self, prompt_tokens: int) -> PrefillReport:
+        return self._inner.prefill(prompt_tokens)
+
+    def decode(self, prompt_tokens: int, output_tokens: int) -> float:
+        # CPU decode backend, like llm.npu's prototype (and llama.cpp).
+        from repro.core.decode import DecodeOptions, decode_latency_s
+        return decode_latency_s(
+            self.model, self.device.cpu, prompt_tokens, output_tokens,
+            DecodeOptions(backend="cpu", efficiency=0.9),
+        )
+
+    def infer(self, prompt_tokens: int,
+              output_tokens: int = 0) -> InferenceReport:
+        report = self._inner.infer(prompt_tokens, output_tokens)
+        decode_s = self.decode(prompt_tokens, output_tokens)
+        return InferenceReport(
+            engine=self.name,
+            model=report.model,
+            device=report.device,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            prefill=report.prefill,
+            decode_latency_s=decode_s,
+            energy=report.energy,
+            memory_bytes=report.memory_bytes,
+            extras=report.extras,
+        )
+
+
+class NaiveNpuEngine(LlmNpuEngine):
+    """Direct NPU offload with none of llm.npu's techniques (Fig. 19's
+    second bar): monolithic prompt graph re-built/re-optimized per prompt,
+    per-group quantization for accuracy, in-order execution."""
+
+    name = "Naive-NPU"
+
+    def __init__(self, model, device):
+        model, device = _resolve(model, device)
+        super().__init__(model, device, EngineConfig(
+            chunking=False,
+            quant_mode="per-group",
+            policy="in-order",
+            equivalent_shapes=False,
+        ))
+
+
+#: Baseline registry for the evaluation drivers.
+BASELINES = {
+    "llama.cpp-CPU": LlamaCppEngine,
+    "MNN-CPU": MnnEngine,
+    "TFLite-GPU": TfliteEngine,
+    "MLC-GPU": MlcEngine,
+    "PowerInfer-V2-NPU": PowerInferV2Engine,
+}
+
+
+def make_baseline(name: str, model: Union[str, ModelConfig],
+                  device: Union[str, SocSpec]):
+    """Instantiate a baseline engine by name."""
+    try:
+        cls = BASELINES[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown baseline {name!r}; available: {sorted(BASELINES)}"
+        ) from None
+    return cls(model, device)

@@ -1,0 +1,237 @@
+"""Command-line interface: run any of the paper's experiments.
+
+Usage::
+
+    llmnpu list                      # list experiments and options
+    llmnpu run fig14                 # regenerate Figure 14
+    llmnpu run all                   # regenerate everything
+    llmnpu infer --model Qwen1.5-1.8B --prompt-tokens 1024 --output-tokens 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from repro.eval import (
+    ablation_chunk_length,
+    calibration_dashboard,
+    service_load,
+    ablation_equivalent_shapes,
+    ablation_hot_channels,
+    ablation_scheduler,
+    archive,
+    future_hardware,
+    mixed_precision_npu,
+    tri_processor,
+    short_prompt_crossover,
+    fig1_breakdown,
+    fig4_quant_npu,
+    fig8_chunk_length,
+    fig10_fig11_outlier_stats,
+    fig12_importance,
+    fig14_prefill_speed,
+    fig15_energy,
+    fig16_pruning_tradeoff,
+    fig17_memory,
+    fig18_coordination,
+    fig19_ablation,
+    table3_matmul,
+    table5_e2e,
+    table6_accuracy,
+)
+
+#: Experiment id -> (description, zero-arg driver returning Table(s)).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table3": ("MatMul micro-benchmarks per engine", table3_matmul),
+    "fig1": ("prefill share of end-to-end latency", fig1_breakdown),
+    "fig4": ("quantization layout cost on the NPU", fig4_quant_npu),
+    "fig8": ("chunk-length sweep (per-token NPU latency)",
+             fig8_chunk_length),
+    "fig10-11": ("outlier channel statistics", fig10_fig11_outlier_stats),
+    "fig12": ("outlier importance and pruning sweep", fig12_importance),
+    "fig14": ("prefill speed vs five baselines", fig14_prefill_speed),
+    "fig15": ("prefill energy vs baselines", fig15_energy),
+    "fig16": ("accuracy vs speed across pruning rates",
+              fig16_pruning_tradeoff),
+    "fig17": ("memory consumption vs INT8 baselines", fig17_memory),
+    "fig18": ("CPU-NPU vs GPU-NPU coordination", fig18_coordination),
+    "fig19": ("technique ablation ladder", fig19_ablation),
+    "table5": ("end-to-end latency on the mobile workloads", table5_e2e),
+    "table6": ("quantization accuracy comparison", table6_accuracy),
+    # extensions beyond the paper's own figures:
+    "abl-chunk": ("ablation: chunk length sweep", ablation_chunk_length),
+    "abl-sched": ("ablation: scheduling policies", ablation_scheduler),
+    "abl-hot": ("ablation: hot-channel cache sizing",
+                ablation_hot_channels),
+    "abl-shapes": ("ablation: equivalent-shape optimization",
+                   ablation_equivalent_shapes),
+    "future-hw": ("§5 what-if: faster NPUs", future_hardware),
+    "future-fp16": ("§5 what-if: mixed-precision NPU", mixed_precision_npu),
+    "tri-proc": ("extension: tri-processor execution", tri_processor),
+    "crossover": ("extension: short-prompt crossover + hybrid dispatch",
+                  short_prompt_crossover),
+    "validate": ("calibration dashboard: paper anchors vs this build",
+                 calibration_dashboard),
+    "service": ("LLM-as-a-System-Service load analysis", service_load),
+}
+
+
+def _print_tables(result, save_as: str = "") -> None:
+    tables = result if isinstance(result, tuple) else (result,)
+    for i, table in enumerate(tables):
+        print(table.render())
+        print()
+        if save_as:
+            suffix = f"_{i}" if len(tables) > 1 else ""
+            path = archive(table, f"{save_as}{suffix}.txt")
+            print(f"[saved to {path}]")
+
+
+def cmd_list(_args) -> int:
+    print("Available experiments:")
+    for name, (desc, _fn) in EXPERIMENTS.items():
+        print(f"  {name:10s} {desc}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    names: List[str] = (list(EXPERIMENTS) if "all" in args.experiment
+                        else args.experiment)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try `llmnpu list`",
+                  file=sys.stderr)
+            return 2
+    for name in names:
+        desc, fn = EXPERIMENTS[name]
+        print(f"== {name}: {desc} ==")
+        start = time.time()
+        result = fn()
+        _print_tables(result, save_as=name if args.save else "")
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.eval.summary import generate_report
+    skip = tuple(args.skip) if args.skip else ()
+    path = generate_report(skip=skip)
+    print(f"report written to {path}")
+    return 0
+
+
+def cmd_quantize(args) -> int:
+    """The paper's §A.5 workflow: calibrate + quantize a float checkpoint
+    and export the quantized model for "on-device" use."""
+    import numpy as np
+    from repro.model import build_synthetic_model, tiny_config
+    from repro.model.io import load_model, save_model
+    from repro.quant import quantize_model, save_quantized, top1_agreement
+    from repro.workloads import calibration_corpus, heldout_sequences
+
+    if args.input:
+        model = load_model(args.input)
+        reference = load_model(args.input)
+        print(f"loaded checkpoint {args.input} "
+              f"({model.config.name}, {model.config.n_layers} layers)")
+    else:
+        config = tiny_config(n_layers=16, hidden_size=96, n_heads=4,
+                             ffn_hidden=256)
+        model = build_synthetic_model(config, seed=args.seed)
+        reference = build_synthetic_model(config, seed=args.seed)
+        print(f"built synthetic substrate ({config.n_layers} layers, "
+              f"width {config.hidden_size})")
+
+    corpus = calibration_corpus(model.config, seed=args.seed)
+    report = quantize_model(model, args.scheme, calib_corpus=corpus,
+                            pruning_rate=args.pruning_rate)
+    heldout = heldout_sequences(model.config, seed=args.seed + 1000)
+    ref_logits = np.concatenate([reference.prefill(ids) for ids in heldout])
+    q_logits = np.concatenate([model.prefill(ids) for ids in heldout])
+    agreement = top1_agreement(ref_logits, q_logits)
+    print(f"scheme={args.scheme} sites={report.n_sites} "
+          f"weights={report.weight_bytes:,} bytes "
+          f"teacher-agreement={agreement:.1%}")
+    if report.pruning_plan is not None:
+        print(f"shadow kept on layers: "
+              f"{sorted(report.pruning_plan.kept_layers)}")
+    save_quantized(model, args.output)
+    print(f"quantized checkpoint written to {args.output}")
+    return 0
+
+
+def cmd_infer(args) -> int:
+    from repro.core import LlmNpuEngine
+    engine = LlmNpuEngine.build(args.model, args.device,
+                                pruning_rate=args.pruning_rate,
+                                chunk_len=args.chunk_len)
+    report = engine.infer(args.prompt_tokens, args.output_tokens)
+    print(report.summary())
+    if report.prefill.trace is not None:
+        print(f"NPU bubble rate: {report.prefill.npu_bubble_rate:.1%}  "
+              f"NPU busy: {report.prefill.npu_busy_s:.3f}s  "
+              f"float busy: {report.prefill.float_busy_s:.3f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="llmnpu",
+        description="llm.npu reproduction — run the paper's experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run experiments")
+    run.add_argument("experiment", nargs="+",
+                     help="experiment ids (or 'all')")
+    run.add_argument("--save", action="store_true",
+                     help="archive tables under benchmarks/results/")
+    run.set_defaults(func=cmd_run)
+
+    report = sub.add_parser(
+        "report", help="run every experiment into one markdown report"
+    )
+    report.add_argument("--skip", nargs="*", default=None,
+                        help="experiment ids to skip")
+    report.set_defaults(func=cmd_report)
+
+    quantize = sub.add_parser(
+        "quantize",
+        help="calibrate + quantize a checkpoint (the paper's §A.5 step)",
+    )
+    quantize.add_argument("--input", default=None,
+                          help="float checkpoint (.npz); default: build a "
+                               "synthetic substrate")
+    quantize.add_argument("--output", required=True,
+                          help="quantized checkpoint path (.npz)")
+    quantize.add_argument("--scheme", default="llm.npu",
+                          choices=["llm.npu", "per-tensor", "per-group"])
+    quantize.add_argument("--pruning-rate", type=float, default=0.85)
+    quantize.add_argument("--seed", type=int, default=7)
+    quantize.set_defaults(func=cmd_quantize)
+
+    infer = sub.add_parser("infer", help="simulate one inference")
+    infer.add_argument("--model", default="Qwen1.5-1.8B")
+    infer.add_argument("--device", default="Redmi K70 Pro")
+    infer.add_argument("--prompt-tokens", type=int, default=1024)
+    infer.add_argument("--output-tokens", type=int, default=8)
+    infer.add_argument("--pruning-rate", type=float, default=0.85)
+    infer.add_argument("--chunk-len", type=int, default=256)
+    infer.set_defaults(func=cmd_infer)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

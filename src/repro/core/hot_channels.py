@@ -1,0 +1,80 @@
+"""Hot-channel shadow-weight cache accounting (§3.3).
+
+Shadow execution needs float weight columns in CPU memory space.  Keeping
+*all* of them doubles the weight footprint; llm.npu keeps only the "hot"
+channels (the <3% of channels producing >80% of outliers, Fig. 11) and
+retrieves cold columns from flash on demand, overlapped with the NPU.
+
+This module computes the resident-bytes / expected-miss trade-off used by
+the engine's memory and latency accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EngineError
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class HotChannelPolicy:
+    """Cache configuration for shadow weights.
+
+    ``hot_fraction`` — fraction of input channels kept resident per linear
+    (paper: <3% covers >80% of outliers); ``hit_rate`` — probability an
+    outlier channel is in the resident set; ``enabled=False`` models the
+    naive keep-everything variant.
+    """
+
+    hot_fraction: float = 0.03
+    hit_rate: float = 0.8
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise EngineError("hot_fraction must be in [0, 1]")
+        if not 0.0 <= self.hit_rate <= 1.0:
+            raise EngineError("hit_rate must be in [0, 1]")
+
+
+def shadow_weight_bytes_per_layer(config: ModelConfig,
+                                  policy: HotChannelPolicy) -> int:
+    """Resident float shadow-weight bytes for one unpruned layer.
+
+    Per linear site, the resident columns are ``hot_fraction * in_features``
+    float32 columns of ``out_features`` each (all columns when the cache is
+    disabled).
+    """
+    h, f = config.hidden_size, config.ffn_hidden
+    n_up = 2 if config.gated_ffn else 1
+    sites = [
+        (h, config.q_dim), (h, config.kv_dim), (h, config.kv_dim),
+        (config.q_dim, h),
+    ] + [(h, f)] * n_up + [(f, h)]
+    fraction = policy.hot_fraction if policy.enabled else 1.0
+    total = 0
+    for in_features, out_features in sites:
+        resident_cols = max(1, int(round(in_features * fraction)))
+        total += resident_cols * out_features * 4
+    return total
+
+
+def shadow_weight_bytes(config: ModelConfig, n_unpruned_layers: int,
+                        policy: HotChannelPolicy) -> int:
+    """Total resident shadow-weight bytes across unpruned layers."""
+    if n_unpruned_layers < 0:
+        raise EngineError("n_unpruned_layers must be non-negative")
+    return n_unpruned_layers * shadow_weight_bytes_per_layer(config, policy)
+
+
+def cache_saving_fraction(config: ModelConfig,
+                          policy: HotChannelPolicy) -> float:
+    """Memory saved by the hot-channel cache vs keeping all float columns."""
+    full = shadow_weight_bytes_per_layer(
+        config, HotChannelPolicy(enabled=False)
+    )
+    cached = shadow_weight_bytes_per_layer(config, policy)
+    if full == 0:
+        return 0.0
+    return 1.0 - cached / full

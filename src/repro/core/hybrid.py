@@ -1,0 +1,102 @@
+"""Hybrid dispatch: route each request to its fastest engine.
+
+An extension motivated by a crossover the paper's Figure 14 grid doesn't
+sample: below ~50 prompt tokens, llm.npu's fixed-chunk padding (§3.2 —
+every prompt pays at least one full 256-token chunk) makes a GPU engine
+*faster*.  A deployment-grade service can profile the crossover once and
+dispatch per request: short prompts to the GPU engine, everything else to
+llm.npu.
+
+This matters for real mobile agents: a "tap confirm" follow-up turn is a
+handful of tokens, while the screen-ingestion turns are hundreds.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.engine import EngineConfig, LlmNpuEngine
+from repro.core.results import InferenceReport
+from repro.errors import EngineError
+from repro.hw.soc import SocSpec, get_device
+from repro.model.config import ModelConfig, get_model_config
+
+
+class HybridEngine:
+    """Per-request dispatch between llm.npu and a GPU fallback engine.
+
+    The crossover threshold is found at build time by profiling both
+    engines over a probe grid (the "preparation stage" already exists, so
+    one more profile pass is in keeping with llm.npu's design).
+    """
+
+    name = "hybrid(llm.npu+GPU)"
+
+    def __init__(self, model: Union[str, ModelConfig],
+                 device: Union[str, SocSpec],
+                 config: Optional[EngineConfig] = None,
+                 probe_lengths: Sequence[int] = (8, 16, 32, 48, 64, 96,
+                                                 128, 192, 256)):
+        model = get_model_config(model) if isinstance(model, str) else model
+        device = get_device(device) if isinstance(device, str) else device
+        self.model = model
+        self.device = device
+        # imported lazily: repro.baselines depends on repro.core, so a
+        # top-level import here would be circular
+        from repro.baselines.engines import TfliteEngine
+        self.npu_engine = LlmNpuEngine(model, device, config)
+        self.gpu_engine = TfliteEngine(model, device)
+        self.crossover_tokens = self._profile_crossover(probe_lengths)
+
+    def _profile_crossover(self, probe_lengths: Sequence[int]) -> int:
+        """Smallest probed prompt length where llm.npu wins.
+
+        Returns 0 if llm.npu wins everywhere (no fallback needed).
+        """
+        if not probe_lengths:
+            raise EngineError("need at least one probe length")
+        lengths = sorted(set(int(p) for p in probe_lengths))
+        if any(p <= 0 for p in lengths):
+            raise EngineError("probe lengths must be positive")
+        crossover = 0
+        for p in lengths:
+            npu = self.npu_engine.prefill(p).latency_s
+            gpu = self.gpu_engine.prefill(p).latency_s
+            if gpu < npu:
+                crossover = p + 1  # GPU still winning at p
+        return crossover
+
+    def pick(self, prompt_tokens: int) -> str:
+        """Which engine a request of this length dispatches to."""
+        if prompt_tokens <= 0:
+            raise EngineError("prompt_tokens must be positive")
+        return ("gpu" if prompt_tokens < self.crossover_tokens
+                else "llm.npu")
+
+    def infer(self, prompt_tokens: int,
+              output_tokens: int = 0) -> InferenceReport:
+        """Serve via the winning engine; the report names the choice."""
+        if self.pick(prompt_tokens) == "gpu":
+            report = self.gpu_engine.infer(prompt_tokens, output_tokens)
+            engine_name = f"{self.name}->TFLite-GPU"
+        else:
+            report = self.npu_engine.infer(prompt_tokens, output_tokens)
+            engine_name = f"{self.name}->llm.npu"
+        return InferenceReport(
+            engine=engine_name,
+            model=report.model,
+            device=report.device,
+            prompt_tokens=report.prompt_tokens,
+            output_tokens=report.output_tokens,
+            prefill=report.prefill,
+            decode_latency_s=report.decode_latency_s,
+            energy=report.energy,
+            memory_bytes=report.memory_bytes,
+            extras=report.extras,
+        )
+
+    def prefill(self, prompt_tokens: int):
+        if self.pick(prompt_tokens) == "gpu":
+            return self.gpu_engine.prefill(prompt_tokens)
+        return self.npu_engine.prefill(prompt_tokens)

@@ -1,0 +1,58 @@
+"""Prefill pipeline: lower chunk plans to tasks, simulate, summarize."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.dependency import build_task_graph
+from repro.core.scheduler import get_policy
+from repro.errors import EngineError
+from repro.graph.builder import ChunkPlan
+from repro.graph.chunk import padded_tokens
+from repro.hw.sim import SchedulingPolicy, Simulator
+from repro.hw.soc import SocSpec
+from repro.core.results import PrefillReport
+
+
+def run_prefill(
+    plans: List[ChunkPlan],
+    device: SocSpec,
+    prompt_tokens: int,
+    float_backend: str = "cpu",
+    policy: str = "ooo",
+    include_shadow: bool = True,
+    extra_latency_s: float = 0.0,
+    shadow_backend: str = None,
+) -> PrefillReport:
+    """Simulate the prefill of ``plans`` and summarize the trace.
+
+    ``extra_latency_s`` is serial time added before execution (e.g. the
+    per-prompt graph rebuild a naive engine pays).  ``shadow_backend``
+    optionally runs the shadow MatMuls on a third processor.
+    """
+    if not plans:
+        raise EngineError("run_prefill needs at least one chunk plan")
+    if prompt_tokens <= 0:
+        raise EngineError(f"prompt_tokens must be positive, got {prompt_tokens}")
+    tasks = build_task_graph(plans, float_proc=float_backend,
+                             include_shadow=include_shadow,
+                             shadow_proc=shadow_backend)
+    processors = ["npu"]
+    for proc in (float_backend, shadow_backend):
+        if proc and proc not in processors:
+            processors.append(proc)
+    simulator = Simulator(processors)
+    scheduling = policy if isinstance(policy, SchedulingPolicy) else get_policy(policy)
+    trace = simulator.run(tasks, scheduling)
+    chunk_len = plans[0].chunk_len
+    return PrefillReport(
+        prompt_tokens=prompt_tokens,
+        padded_tokens=padded_tokens(prompt_tokens, chunk_len)
+        if len(plans) * chunk_len >= prompt_tokens else 0,
+        n_chunks=len(plans),
+        latency_s=trace.makespan_s + extra_latency_s,
+        trace=trace,
+        npu_busy_s=trace.busy_seconds("npu"),
+        float_busy_s=trace.busy_seconds(float_backend),
+        npu_bubble_rate=trace.bubble_rate("npu"),
+    )

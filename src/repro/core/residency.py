@@ -1,0 +1,110 @@
+"""NPU memory-region residency planning (§4, implementation note (2)).
+
+Hexagon NPUs address a bounded memory region (~4 GB) that can be smaller
+than the LLM weights (LLaMA-2-7B is ~6.3 GB at INT8).  llm.npu therefore
+*prioritizes computationally intensive operators — the FFNs — for NPU
+residency*; the remaining weights live only in DRAM and stream into the
+region per use (the DMA cost is the ``mem_bandwidth`` term the latency
+model already charges every MatMul, so streaming does not change the
+latency accounting — residency is a memory-space planning problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import EngineError
+from repro.graph.ops import SG_FFN, SG_QKV, SG_WO
+from repro.model.config import ModelConfig
+
+#: Region bytes reserved for graph structures, activation buffers and the
+#: driver's own allocations (not available for resident weights).
+DEFAULT_RESERVE_BYTES = 512 * 1024 * 1024
+
+#: NPU subgraph positions in residency-priority order: FFN first (the
+#: paper's rule — largest compute per dispatch), then QKV, then O.
+PRIORITY_ORDER = (SG_FFN, SG_QKV, SG_WO)
+
+
+def npu_weight_bytes_by_subgraph(
+    config: ModelConfig, bytes_per_weight: int = 1
+) -> Dict[Tuple[int, int], int]:
+    """Weight bytes of every NPU subgraph, keyed by (layer, position)."""
+    h, f = config.hidden_size, config.ffn_hidden
+    n_up = 2 if config.gated_ffn else 1
+    per_position = {
+        SG_QKV: h * (config.q_dim + 2 * config.kv_dim) * bytes_per_weight,
+        SG_WO: config.q_dim * h * bytes_per_weight,
+        SG_FFN: (n_up + 1) * h * f * bytes_per_weight,
+    }
+    return {
+        (layer, pos): nbytes
+        for layer in range(config.n_layers)
+        for pos, nbytes in per_position.items()
+    }
+
+
+@dataclass(frozen=True)
+class NpuResidencyPlan:
+    """Which NPU subgraphs keep their weights resident in the NPU region."""
+
+    resident: FrozenSet[Tuple[int, int]]
+    streamed: FrozenSet[Tuple[int, int]]
+    resident_bytes: int
+    total_bytes: int
+    budget_bytes: int
+
+    @property
+    def fully_resident(self) -> bool:
+        return not self.streamed
+
+    @property
+    def resident_fraction(self) -> float:
+        """Byte fraction of NPU weights that stay resident."""
+        if self.total_bytes == 0:
+            return 1.0
+        return self.resident_bytes / self.total_bytes
+
+    def is_resident(self, layer: int, position: int) -> bool:
+        return (layer, position) in self.resident
+
+
+def plan_npu_residency(
+    config: ModelConfig,
+    npu_region_bytes: int,
+    bytes_per_weight: int = 1,
+    reserve_bytes: int = DEFAULT_RESERVE_BYTES,
+) -> NpuResidencyPlan:
+    """Greedy FFN-first packing of NPU subgraph weights into the region.
+
+    Within a priority class, earlier layers win (their graphs execute
+    first in every chunk, maximizing reuse before any eviction would be
+    needed).
+    """
+    if npu_region_bytes <= 0:
+        raise EngineError("npu_region_bytes must be positive")
+    if reserve_bytes < 0:
+        raise EngineError("reserve_bytes must be non-negative")
+    budget = max(0, npu_region_bytes - reserve_bytes)
+    sizes = npu_weight_bytes_by_subgraph(config, bytes_per_weight)
+
+    order: List[Tuple[int, int]] = [
+        (layer, pos)
+        for pos in PRIORITY_ORDER
+        for layer in range(config.n_layers)
+    ]
+    resident = set()
+    used = 0
+    for key in order:
+        nbytes = sizes[key]
+        if used + nbytes <= budget:
+            resident.add(key)
+            used += nbytes
+    return NpuResidencyPlan(
+        resident=frozenset(resident),
+        streamed=frozenset(k for k in sizes if k not in resident),
+        resident_bytes=used,
+        total_bytes=sum(sizes.values()),
+        budget_bytes=budget,
+    )

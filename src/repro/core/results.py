@@ -1,0 +1,112 @@
+"""Result records returned by the engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hw.energy import EnergyBreakdown
+from repro.hw.trace import Trace
+
+
+@dataclass(frozen=True)
+class PrefillReport:
+    """Outcome of one simulated prefill."""
+
+    prompt_tokens: int
+    padded_tokens: int
+    n_chunks: int
+    latency_s: float
+    trace: Optional[Trace] = None
+    npu_busy_s: float = 0.0
+    float_busy_s: float = 0.0
+    npu_bubble_rate: float = 0.0
+    graph_prepare_s: float = 0.0
+
+    @property
+    def tokens_per_s(self) -> float:
+        if self.latency_s <= 0:
+            return float("inf")
+        return self.prompt_tokens / self.latency_s
+
+
+@dataclass(frozen=True)
+class InferenceReport:
+    """End-to-end (prefill + decode) outcome."""
+
+    engine: str
+    model: str
+    device: str
+    prompt_tokens: int
+    output_tokens: int
+    prefill: PrefillReport
+    decode_latency_s: float
+    energy: Optional[EnergyBreakdown] = None
+    memory_bytes: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def prefill_latency_s(self) -> float:
+        return self.prefill.latency_s
+
+    @property
+    def prefill_tokens_per_s(self) -> float:
+        return self.prefill.tokens_per_s
+
+    @property
+    def e2e_latency_s(self) -> float:
+        return self.prefill.latency_s + self.decode_latency_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token — the prefill latency, the quantity the
+        paper's whole design targets."""
+        return self.prefill.latency_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Time per output token during decoding (0 if nothing decoded)."""
+        if self.output_tokens <= 0:
+            return 0.0
+        return self.decode_latency_s / self.output_tokens
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.total_j if self.energy is not None else 0.0
+
+    def timeline(self, decode_backend: str = "cpu"):
+        """Unified prefill+decode trace for visualization.
+
+        Returns a :class:`~repro.hw.trace.Trace` containing the prefill
+        schedule followed by one event per decoded token on the decode
+        backend; export with ``.save_chrome_trace(path)``.
+        """
+        from repro.hw.trace import Trace, TraceEvent
+        timeline = Trace()
+        start = 0.0
+        if self.prefill.trace is not None:
+            for event in self.prefill.trace.events:
+                timeline.add(event)
+            start = self.prefill.trace.makespan_s
+        if self.output_tokens > 0:
+            per_token = self.decode_latency_s / self.output_tokens
+            for i in range(self.output_tokens):
+                timeline.add(TraceEvent(
+                    task_id=f"decode.t{i}",
+                    proc=decode_backend,
+                    start_s=start + i * per_token,
+                    end_s=start + (i + 1) * per_token,
+                    tag="decode",
+                ))
+        return timeline
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.engine} | {self.model} on {self.device} | "
+            f"prompt={self.prompt_tokens} out={self.output_tokens} | "
+            f"prefill={self.prefill_latency_s:.3f}s "
+            f"({self.prefill_tokens_per_s:.0f} tok/s) "
+            f"decode={self.decode_latency_s:.3f}s "
+            f"e2e={self.e2e_latency_s:.3f}s energy={self.energy_j:.1f}J"
+        )

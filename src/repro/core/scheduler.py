@@ -1,0 +1,169 @@
+"""Out-of-order subgraph scheduling (§3.4).
+
+Finding the makespan-optimal order is NP-hard (reducible to TSP), and the
+chunk count varies per prompt, so llm.npu uses a microsecond-scale online
+heuristic (Eq. 5): when a processor goes idle, among its ready subgraphs
+pick the one with the largest *contribution to reducing NPU stalls*::
+
+    C(g) = +sum(T_i for i in S(g))   if g runs on the CPU/GPU
+    C(g) = -sum(T_i for i in S(g))   if g runs on the NPU
+
+where ``S(g)`` is the set of **NPU** subgraphs that become ready the
+moment ``g`` completes.  Intuition: the NPU is the critical path, so CPU
+work that unlocks a lot of NPU work should run first; among NPU choices,
+prefer those that *don't* immediately demand more NPU time, keeping the
+CPU fed (it will unlock future NPU work during the NPU's busy period).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hw.sim import SchedulingPolicy, SimContext, Task
+
+
+def newly_ready_npu_time(task: Task, context: SimContext) -> float:
+    """Total duration of NPU tasks that become ready right after ``task``.
+
+    A dependent becomes ready iff ``task`` is its only unfinished
+    dependency.
+    """
+    total = 0.0
+    for dep_id in context.dependents.get(task.task_id, ()):
+        dependent = context.tasks[dep_id]
+        if dependent.proc != "npu":
+            continue
+        if context.remaining_deps(dep_id) == 1:
+            # task is necessarily that remaining dependency
+            total += dependent.duration_s
+    return total
+
+
+class OutOfOrderPolicy(SchedulingPolicy):
+    """llm.npu's max-C heuristic (Eq. 5).
+
+    Ties on C are broken by *shorter duration first* (then submission
+    order): when two candidates unlock the same amount of NPU work, the
+    cheaper one frees this processor sooner to unlock the next batch —
+    a refinement that keeps the schedule monotone in the shadow-pruning
+    rate without departing from Eq. 5's primary criterion.
+    """
+
+    name = "llm.npu-ooo"
+
+    def select(self, proc: str, ready: List[Task],
+               context: SimContext) -> Task:
+        sign = -1.0 if proc == "npu" else 1.0
+
+        def key(task: Task):
+            return (sign * newly_ready_npu_time(task, context),
+                    -task.duration_s,
+                    -context.submit_index[task.task_id])
+
+        return max(ready, key=key)
+
+
+class NormalizedOooPolicy(SchedulingPolicy):
+    """Eq. 5's contribution divided by the candidate's own duration.
+
+    An extension beyond the paper: on a processor that is itself
+    contended, unlocking NPU work *per second spent* matters more than
+    the absolute amount.  Kept as an ablation point (the scheduler bench
+    compares it against the paper's unnormalized heuristic).
+    """
+
+    name = "llm.npu-ooo-normalized"
+
+    def select(self, proc: str, ready: List[Task],
+               context: SimContext) -> Task:
+        sign = -1.0 if proc == "npu" else 1.0
+
+        def rate(task: Task) -> float:
+            c = sign * newly_ready_npu_time(task, context)
+            return c / max(task.duration_s, 1e-9)
+
+        return max(
+            ready,
+            key=lambda t: (rate(t), -context.submit_index[t.task_id]),
+        )
+
+
+class LatencyGreedyPolicy(SchedulingPolicy):
+    """Shortest-task-first — the "focus on execution latency" strawman the
+    paper argues against; kept as an ablation point."""
+
+    name = "latency-greedy"
+
+    def select(self, proc: str, ready: List[Task],
+               context: SimContext) -> Task:
+        return min(
+            ready,
+            key=lambda t: (t.duration_s, context.submit_index[t.task_id]),
+        )
+
+
+class ChunkOrderPolicy(SchedulingPolicy):
+    """Lowest (chunk, subgraph) first among *ready* tasks — an
+    opportunistic in-order variant that still skips over blocked work;
+    kept as an ablation point between head-of-line and full OOO."""
+
+    name = "chunk-order"
+
+    def select(self, proc: str, ready: List[Task],
+               context: SimContext) -> Task:
+        return min(ready, key=lambda t: (t.chunk, t.subgraph,
+                                         context.submit_index[t.task_id]))
+
+
+class HeadOfLinePolicy(SchedulingPolicy):
+    """True in-order execution — the naive overlap of Fig. 13(a).
+
+    Each processor owns a command queue filled in program (chunk,
+    subgraph) order and must execute it head-first: if the head's
+    dependencies are not yet satisfied the processor *idles*, even though
+    later entries in its queue are ready.  This is how a naive engine
+    built on per-processor driver queues behaves, and it produces the
+    ~37% NPU bubble rate the paper measures; out-of-order scheduling
+    exists to remove exactly this head-of-line blocking.
+    """
+
+    name = "in-order"
+
+    def select(self, proc: str, ready: List[Task],
+               context: SimContext):
+        pending_here = [
+            t for t in context.tasks.values()
+            if t.proc == proc and t.task_id not in context.completed
+        ]
+        # Exclude tasks currently running: a running task is neither
+        # completed nor ready; it is this processor's busy slot, and
+        # select() is only called when the processor is idle — so every
+        # pending task here is either ready or blocked.
+        head = min(
+            pending_here,
+            key=lambda t: context.submit_index[t.task_id],
+        )
+        ready_ids = {t.task_id for t in ready}
+        if head.task_id in ready_ids:
+            return head
+        return None  # head-of-line blocked: idle until the next event
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """Policy factory: 'ooo', 'in-order', or 'latency-greedy'."""
+    from repro.errors import SchedulingError
+    from repro.hw.sim import FifoPolicy
+    policies = {
+        "ooo": OutOfOrderPolicy,
+        "ooo-normalized": NormalizedOooPolicy,
+        "in-order": HeadOfLinePolicy,
+        "chunk-order": ChunkOrderPolicy,
+        "fifo": FifoPolicy,
+        "latency-greedy": LatencyGreedyPolicy,
+    }
+    try:
+        return policies[name]()
+    except KeyError:
+        raise SchedulingError(
+            f"unknown policy {name!r}; available: {sorted(policies)}"
+        ) from None

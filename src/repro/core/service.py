@@ -1,0 +1,220 @@
+"""LLM-as-a-System-Service (§3.1).
+
+The paper positions llm.npu as the inference engine behind an OS-level
+"LLM-as-a-System-Service" [99, 102]: applications submit prompts to one
+shared, already-prepared engine instead of each paying the multi-second
+graph preparation themselves.  :class:`LlmService` models that layer:
+
+* engines are prepared lazily per (model, device) and cached — the
+  preparation cost (§3.2's one-time graph build + optimize) is paid once
+  and amortized over all subsequent requests;
+* requests are served FIFO (mobile NPUs don't preempt, §3.4/Eq. 4) with
+  queueing delay accounted;
+* the service keeps aggregate statistics (latency percentiles, energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.engine import EngineConfig, LlmNpuEngine
+from repro.core.results import InferenceReport
+from repro.errors import EngineError
+from repro.hw.soc import SocSpec, get_device
+from repro.model.config import ModelConfig, get_model_config
+from repro.workloads.datasets import WorkloadSample
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One completed request with its service-level timings."""
+
+    request_id: int
+    model: str
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    report: InferenceReport
+
+    @property
+    def queueing_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.start_s
+
+    @property
+    def turnaround_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+class ChatSession:
+    """A multi-turn conversation served with KV-cache reuse.
+
+    Each turn prefills only the *new* tokens (chunk-aligned, §3.2's
+    static-shape constraint) against the KV established by earlier turns;
+    the model's own replies also land in the cache.
+    """
+
+    def __init__(self, service: "LlmService", model):
+        self.service = service
+        self.model = model
+        self.context_tokens = 0
+        self.turns: List[ServedRequest] = []
+
+    def submit_turn(self, new_tokens: int,
+                    output_tokens: int = 0) -> ServedRequest:
+        """One user turn: prefill the new tokens, decode the reply."""
+        if new_tokens <= 0:
+            raise EngineError("new_tokens must be positive")
+        record = self.service.submit(
+            self.model, new_tokens, output_tokens,
+            cached_tokens=self.context_tokens,
+        )
+        self.context_tokens += new_tokens + output_tokens
+        self.turns.append(record)
+        return record
+
+    @property
+    def n_turns(self) -> int:
+        return len(self.turns)
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate service metrics."""
+
+    n_requests: int
+    preparation_s: float
+    mean_turnaround_s: float
+    p95_turnaround_s: float
+    mean_queueing_s: float
+    total_energy_j: float
+    throughput_rps: float
+
+
+class LlmService:
+    """A shared on-device LLM service over prepared llm.npu engines."""
+
+    def __init__(self, device: Union[str, SocSpec],
+                 config: Optional[EngineConfig] = None):
+        self.device = get_device(device) if isinstance(device, str) else device
+        self.config = config if config is not None else EngineConfig()
+        self._engines: Dict[str, LlmNpuEngine] = {}
+        self._prepared: Dict[str, float] = {}
+        self._requests: List[ServedRequest] = []
+        self._clock_s = 0.0
+        self._next_id = 0
+
+    # -- engine lifecycle -----------------------------------------------------
+
+    def engine_for(self, model: Union[str, ModelConfig]) -> LlmNpuEngine:
+        """The prepared engine for a model; prepares (once) on first use.
+
+        Preparation time advances the service clock — the first request
+        for a model pays the warm-up, later ones don't (§3.2's point).
+        """
+        cfg = get_model_config(model) if isinstance(model, str) else model
+        if cfg.name not in self._engines:
+            engine = LlmNpuEngine(cfg, self.device, self.config)
+            prep = engine.preparation_s()
+            self._engines[cfg.name] = engine
+            self._prepared[cfg.name] = prep
+            self._clock_s += prep
+        return self._engines[cfg.name]
+
+    @property
+    def loaded_models(self) -> List[str]:
+        return sorted(self._engines)
+
+    def preparation_s(self, model: Optional[str] = None) -> float:
+        """Preparation time paid so far (for one model or total)."""
+        if model is not None:
+            try:
+                return self._prepared[model]
+            except KeyError:
+                raise EngineError(f"model {model!r} not prepared") from None
+        return sum(self._prepared.values())
+
+    # -- serving ------------------------------------------------------------------
+
+    def submit(self, model: Union[str, ModelConfig], prompt_tokens: int,
+               output_tokens: int = 0,
+               arrival_s: Optional[float] = None,
+               cached_tokens: int = 0) -> ServedRequest:
+        """Serve one request FIFO; returns its service record.
+
+        ``arrival_s`` defaults to "now" (the current clock); an arrival in
+        the past queues behind whatever is running.  ``cached_tokens``
+        reuses an established KV cache (multi-turn conversations).
+        """
+        engine = self.engine_for(model)
+        arrival = self._clock_s if arrival_s is None else float(arrival_s)
+        if arrival > self._clock_s:
+            self._clock_s = arrival  # idle until the request arrives
+        start = self._clock_s
+        report = engine.infer(prompt_tokens, output_tokens,
+                              cached_tokens=cached_tokens)
+        finish = start + report.e2e_latency_s
+        self._clock_s = finish
+        record = ServedRequest(
+            request_id=self._next_id,
+            model=engine.model.name,
+            arrival_s=arrival,
+            start_s=start,
+            finish_s=finish,
+            report=report,
+        )
+        self._next_id += 1
+        self._requests.append(record)
+        return record
+
+    def submit_workload(self, model: Union[str, ModelConfig],
+                        samples: List[WorkloadSample],
+                        inter_arrival_s: float = 0.0) -> List[ServedRequest]:
+        """Serve a batch of workload samples with fixed inter-arrival gaps."""
+        if inter_arrival_s < 0:
+            raise EngineError("inter_arrival_s must be non-negative")
+        # Prepare the engine before the arrival clock starts: workload
+        # requests queue behind each other, not behind the one-time
+        # preparation (which the service pays at model-load time).
+        self.engine_for(model)
+        base = self._clock_s
+        out = []
+        for i, sample in enumerate(samples):
+            out.append(self.submit(
+                model, sample.prompt_tokens, sample.output_tokens,
+                arrival_s=base + i * inter_arrival_s,
+            ))
+        return out
+
+    def open_chat(self, model: Union[str, ModelConfig]) -> "ChatSession":
+        """Start a multi-turn conversation with KV-cache reuse."""
+        return ChatSession(self, model)
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def requests(self) -> List[ServedRequest]:
+        return list(self._requests)
+
+    def stats(self) -> ServiceStats:
+        if not self._requests:
+            raise EngineError("no requests served yet")
+        turnarounds = np.array([r.turnaround_s for r in self._requests])
+        queueing = np.array([r.queueing_s for r in self._requests])
+        span = self._clock_s - self._requests[0].arrival_s
+        return ServiceStats(
+            n_requests=len(self._requests),
+            preparation_s=self.preparation_s(),
+            mean_turnaround_s=float(turnarounds.mean()),
+            p95_turnaround_s=float(np.percentile(turnarounds, 95)),
+            mean_queueing_s=float(queueing.mean()),
+            total_energy_j=sum(r.report.energy_j for r in self._requests),
+            throughput_rps=(len(self._requests) / span if span > 0
+                            else float("inf")),
+        )

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the llm.npu reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-hierarchies mirror the package layout: model
+construction, quantization, hardware simulation, graph building, and engine
+execution each raise their own error type.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class ModelError(ReproError):
+    """Model construction or forward-pass failure."""
+
+
+class ShapeError(ModelError):
+    """Tensor shape mismatch inside the numpy transformer substrate."""
+
+
+class QuantizationError(ReproError):
+    """Quantization algorithm failure (bad calibration, bad bit-width...)."""
+
+
+class CalibrationError(QuantizationError):
+    """Calibration observers were not run or produced unusable statistics."""
+
+
+class HardwareError(ReproError):
+    """Hardware simulator failure."""
+
+
+class UnsupportedOperationError(HardwareError):
+    """An operation was dispatched to a processor that cannot run it.
+
+    Example: per-group MatMul dispatched directly to a mobile NPU, which
+    (per Table 2 of the paper) no mainstream mobile NPU supports.
+    """
+
+
+class MemoryLimitError(HardwareError):
+    """A memory space (e.g. the 4 GB NPU-addressable region) overflowed."""
+
+
+class GraphError(ReproError):
+    """Compute-graph construction or partitioning failure."""
+
+
+class DependencyError(GraphError):
+    """The subgraph dependency DAG is cyclic or references unknown nodes."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a valid execution order."""
+
+
+class EngineError(ReproError):
+    """Top-level engine failure (prefill/decode pipeline)."""
+
+
+class WorkloadError(ReproError):
+    """Synthetic workload generation failure."""

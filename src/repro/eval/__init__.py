@@ -1,0 +1,81 @@
+"""Experiment drivers regenerating every table and figure of the paper's
+evaluation section.  Each driver returns :class:`~repro.eval.report.Table`
+objects that render to text and archive under ``benchmarks/results/``."""
+
+from repro.eval.accuracy import (
+    ACCURACY_MODEL_CONFIG,
+    OUTLIER_STATS_CONFIG,
+    TABLE6_SCHEMES,
+    fig10_fig11_outlier_stats,
+    fig12_importance,
+    fig16_pruning_tradeoff,
+    table6_accuracy,
+)
+from repro.eval.ablation import (
+    ablation_chunk_length,
+    ablation_equivalent_shapes,
+    ablation_hot_channels,
+    ablation_scheduler,
+    future_hardware,
+    mixed_precision_npu,
+    short_prompt_crossover,
+    tri_processor,
+)
+from repro.eval.energy_memory import fig15_energy, fig17_memory
+from repro.eval.latency import (
+    ABLATION_LADDER,
+    TABLE3_PAPER_MS,
+    TABLE3_SHAPES,
+    fig1_breakdown,
+    fig4_quant_npu,
+    fig8_chunk_length,
+    fig14_prefill_speed,
+    fig18_coordination,
+    fig19_ablation,
+    table3_matmul,
+    table5_e2e,
+)
+from repro.eval.report import Table, archive, results_dir
+from repro.eval.service_eval import service_engine_comparison, service_load
+from repro.eval.summary import generate_report
+from repro.eval.validation import ANCHORS, Anchor, calibration_dashboard
+
+__all__ = [
+    "Table",
+    "archive",
+    "results_dir",
+    "table3_matmul",
+    "fig1_breakdown",
+    "fig4_quant_npu",
+    "fig8_chunk_length",
+    "fig14_prefill_speed",
+    "fig15_energy",
+    "fig17_memory",
+    "fig18_coordination",
+    "fig19_ablation",
+    "table5_e2e",
+    "table6_accuracy",
+    "fig16_pruning_tradeoff",
+    "fig10_fig11_outlier_stats",
+    "fig12_importance",
+    "ablation_chunk_length",
+    "ablation_scheduler",
+    "ablation_hot_channels",
+    "ablation_equivalent_shapes",
+    "future_hardware",
+    "mixed_precision_npu",
+    "tri_processor",
+    "short_prompt_crossover",
+    "calibration_dashboard",
+    "service_load",
+    "service_engine_comparison",
+    "generate_report",
+    "Anchor",
+    "ANCHORS",
+    "ACCURACY_MODEL_CONFIG",
+    "OUTLIER_STATS_CONFIG",
+    "TABLE6_SCHEMES",
+    "ABLATION_LADDER",
+    "TABLE3_SHAPES",
+    "TABLE3_PAPER_MS",
+]

@@ -1,0 +1,281 @@
+"""Ablation drivers for the design choices DESIGN.md calls out.
+
+Beyond the paper's own Fig. 19 ladder, these sweep the individual design
+parameters: chunk length, scheduler policy, hot-channel cache fraction,
+and the equivalent-shape optimization — plus the §5 future-hardware
+what-if analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import EngineConfig, HotChannelPolicy, LlmNpuEngine
+from repro.core.hot_channels import cache_saving_fraction, shadow_weight_bytes
+from repro.eval.report import Table
+from repro.graph.chunk import padded_tokens
+from repro.hw.soc import get_device
+from repro.model.config import get_model_config
+
+
+def ablation_chunk_length(
+    model="Qwen1.5-1.8B",
+    device="Redmi K70 Pro",
+    chunk_lens: Sequence[int] = (64, 128, 256, 512),
+    prompt_lens: Sequence[int] = (300, 1024),
+) -> Table:
+    """End-to-end effect of the chunk length (not just per-op cost, Fig. 8):
+    smaller chunks waste less padding but pay more dispatches and worse NPU
+    utilization; larger chunks pad short prompts heavily."""
+    cfg = get_model_config(model) if isinstance(model, str) else model
+    dev = get_device(device) if isinstance(device, str) else device
+    table = Table(
+        title=f"Ablation — chunk length, {cfg.name} prefill (tokens/s)",
+        columns=["chunk length"]
+        + [f"prompt={p}" for p in prompt_lens]
+        + [f"padding @{prompt_lens[0]}"],
+    )
+    for chunk in chunk_lens:
+        engine = LlmNpuEngine(cfg, dev, EngineConfig(
+            chunk_len=chunk,
+            max_chunks=max(2, (max(prompt_lens) + chunk - 1) // chunk),
+        ))
+        speeds = [engine.prefill(p).tokens_per_s for p in prompt_lens]
+        table.add_row(chunk, *speeds, padded_tokens(prompt_lens[0], chunk))
+    table.add_note("the paper picks 256: near-peak long-prompt speed with "
+                   "bounded padding waste on short prompts")
+    return table
+
+
+def ablation_scheduler(
+    model="Qwen1.5-1.8B",
+    device="Redmi K70 Pro",
+    prompt_len: int = 1024,
+    policies: Sequence[str] = ("in-order", "chunk-order", "fifo",
+                               "latency-greedy", "ooo-normalized", "ooo"),
+) -> Table:
+    """Scheduler-policy comparison on the same task graph."""
+    cfg = get_model_config(model) if isinstance(model, str) else model
+    dev = get_device(device) if isinstance(device, str) else device
+    table = Table(
+        title=f"Ablation — scheduling policy, {cfg.name}, "
+              f"prompt={prompt_len}",
+        columns=["policy", "prefill ms", "tok/s", "NPU bubble rate",
+                 "vs in-order"],
+    )
+    baseline_ms = None
+    for policy in policies:
+        engine = LlmNpuEngine(cfg, dev, EngineConfig(policy=policy))
+        report = engine.prefill(prompt_len)
+        ms = report.latency_s * 1e3
+        if policy == "in-order":
+            baseline_ms = ms
+        reduction = (f"-{1 - ms / baseline_ms:.0%}"
+                     if baseline_ms and baseline_ms != ms else "0%")
+        table.add_row(policy, ms, report.tokens_per_s,
+                      f"{report.npu_bubble_rate:.1%}", reduction)
+    table.add_note("the paper's Eq. 5 heuristic ('ooo') targets NPU-stall "
+                   "reduction rather than task latency")
+    return table
+
+
+def ablation_hot_channels(
+    model="Qwen1.5-1.8B",
+    fractions: Sequence[float] = (0.01, 0.03, 0.10, 0.30, 1.0),
+) -> Table:
+    """Hot-channel cache sizing: resident shadow-weight memory vs the
+    expected cold-miss rate (§3.3's memory/latency trade)."""
+    cfg = get_model_config(model) if isinstance(model, str) else model
+    n_unpruned = cfg.n_layers - round(cfg.n_layers * 0.85)
+    table = Table(
+        title=f"Ablation — hot-channel cache fraction, {cfg.name}",
+        columns=["resident fraction", "shadow weights MiB",
+                 "memory saving", "approx hit rate"],
+    )
+    for fraction in fractions:
+        # Fig. 11's skew: coverage grows steeply then saturates; model the
+        # hit rate with the measured shape (3% of channels -> 80% of hits).
+        hit_rate = min(1.0, 0.8 * (fraction / 0.03) ** 0.3) if fraction < 1.0 else 1.0
+        policy = HotChannelPolicy(hot_fraction=fraction,
+                                  hit_rate=hit_rate,
+                                  enabled=fraction < 1.0)
+        resident = shadow_weight_bytes(cfg, n_unpruned, policy)
+        saving = cache_saving_fraction(cfg, policy)
+        table.add_row(f"{fraction:.0%}", resident / 2**20,
+                      f"{saving:.0%}", f"{hit_rate:.0%}")
+    table.add_note("paper: keeping <3% of channels resident covers >80% "
+                   "of outliers and cuts shadow memory by 34.3%")
+    return table
+
+
+def ablation_equivalent_shapes(
+    models: Sequence[str] = ("Qwen1.5-1.8B", "Gemma-2B"),
+    device="Redmi K70 Pro",
+    prompt_len: int = 1024,
+) -> Table:
+    """The §4 equivalent-shape optimization on/off."""
+    dev = get_device(device) if isinstance(device, str) else device
+    table = Table(
+        title="Ablation — equivalent-shape optimization "
+              f"(prompt={prompt_len})",
+        columns=["model", "off tok/s", "on tok/s", "gain"],
+    )
+    for model in models:
+        cfg = get_model_config(model)
+        off = LlmNpuEngine(cfg, dev, EngineConfig(
+            equivalent_shapes=False)).prefill(prompt_len).tokens_per_s
+        on = LlmNpuEngine(cfg, dev, EngineConfig(
+            equivalent_shapes=True)).prefill(prompt_len).tokens_per_s
+        table.add_row(cfg.name, off, on, f"{on / off:.2f}x")
+    table.add_note("paper measures a 1.62x kernel-level gain for square "
+                   "input views; the end-to-end gain is diluted by "
+                   "memory-bound MatMuls and CPU-side work")
+    return table
+
+
+def mixed_precision_npu(
+    model="Qwen1.5-1.8B",
+    device="Redmi K70 Pro",
+    prompt_len: int = 512,
+    fp16_tflops: Sequence[float] = (0.00317, 0.5, 1.0, 4.0),
+) -> Table:
+    """§5's third hardware implication, quantified: with FP16-capable NPU
+    units, the float operators (attention, norms, shadow merges) can move
+    onto the NPU, eliminating cross-processor synchronization entirely.
+
+    The first sweep point is today's Hexagon FP16 path (3.17 GFLOPS —
+    catastrophic); the rest are hypothetical mixed-precision designs.
+    """
+    from repro.hw.soc import with_mixed_precision_npu
+
+    cfg = get_model_config(model) if isinstance(model, str) else model
+    dev = get_device(device) if isinstance(device, str) else device
+    table = Table(
+        title=f"§5 what-if — mixed-precision NPU, {cfg.name}, "
+              f"prompt={prompt_len}",
+        columns=["NPU FP16 TFLOPS", "all-NPU tok/s", "CPU-NPU tok/s",
+                 "all-NPU wins?"],
+    )
+    cpu_coord = LlmNpuEngine(cfg, dev).prefill(prompt_len).tokens_per_s
+    for tflops in fp16_tflops:
+        what_if = with_mixed_precision_npu(dev, fp16_peak_ops=tflops * 1e12)
+        engine = LlmNpuEngine(cfg, what_if,
+                              EngineConfig(float_backend="npu"))
+        speed = engine.prefill(prompt_len).tokens_per_s
+        table.add_row(f"{tflops:g}", speed, cpu_coord,
+                      "yes" if speed > cpu_coord else "no")
+    table.add_note("today's Hexagon FP16 (0.003 TFLOPS) makes all-NPU "
+                   "execution catastrophic; around ~1 TFLOPS of NPU FP16 "
+                   "the all-NPU design overtakes CPU-NPU coordination by "
+                   "removing every synchronization fence")
+    return table
+
+
+def short_prompt_crossover(
+    model="Qwen1.5-1.8B",
+    device="Redmi K70 Pro",
+    prompt_lens: Sequence[int] = (8, 16, 32, 64, 128, 256),
+) -> Table:
+    """Extension: the short-prompt crossover Figure 14's grid never samples.
+
+    llm.npu's fixed 256-token chunks (§3.2) mean every prompt pays at
+    least one full chunk; below ~50 tokens a GPU engine with no
+    static-shape constraint is faster.  The :class:`HybridEngine` profiles
+    this crossover once and dispatches per request.
+    """
+    from repro.baselines.engines import TfliteEngine
+    from repro.core.hybrid import HybridEngine
+
+    cfg = get_model_config(model) if isinstance(model, str) else model
+    dev = get_device(device) if isinstance(device, str) else device
+    npu = LlmNpuEngine(cfg, dev)
+    gpu = TfliteEngine(cfg, dev)
+    hybrid = HybridEngine(cfg, dev)
+    table = Table(
+        title=f"Extension — short-prompt crossover, {cfg.name}",
+        columns=["prompt", "llm.npu ms", "TFLite-GPU ms", "hybrid ms",
+                 "hybrid picks"],
+    )
+    for p in prompt_lens:
+        a = npu.prefill(p).latency_s * 1e3
+        b = gpu.prefill(p).latency_s * 1e3
+        h = hybrid.prefill(p).latency_s * 1e3
+        table.add_row(p, a, b, h, hybrid.pick(p))
+    table.add_note(
+        f"profiled crossover: {hybrid.crossover_tokens} tokens — below it, "
+        "llm.npu's mandatory full-chunk padding loses to the GPU engine; "
+        "the hybrid dispatcher always matches the winner"
+    )
+    return table
+
+
+def tri_processor(
+    model="Qwen1.5-1.8B",
+    device="Redmi K70 Pro",
+    prompt_len: int = 1024,
+    pruning_rates: Sequence[float] = (0.0, 0.85),
+) -> Table:
+    """Extension: does a *third* processor help?
+
+    The paper's prototype uses two processors (NPU + CPU, or NPU + GPU in
+    the Fig. 18 simulation).  This sweep adds a tri-processor mode —
+    attention on the GPU, shadow compensation on the CPU — and finds it
+    buys nothing: shadow MatMuls are so small (a handful of outlier
+    channels, §3.3) that they never contend with attention for the float
+    processor, confirming the paper's claim that shadow execution hides
+    entirely under the NPU.
+    """
+    cfg = get_model_config(model) if isinstance(model, str) else model
+    dev = get_device(device) if isinstance(device, str) else device
+    table = Table(
+        title=f"Extension — tri-processor execution, {cfg.name}, "
+              f"prompt={prompt_len}",
+        columns=["pruning rate", "CPU-NPU tok/s", "GPU-NPU tok/s",
+                 "GPU+CPU+NPU tok/s"],
+    )
+    for rate in pruning_rates:
+        cpu = LlmNpuEngine(cfg, dev, EngineConfig(
+            pruning_rate=rate)).prefill(prompt_len).tokens_per_s
+        gpu = LlmNpuEngine(cfg, dev, EngineConfig(
+            pruning_rate=rate, float_backend="gpu",
+        )).prefill(prompt_len).tokens_per_s
+        tri = LlmNpuEngine(cfg, dev, EngineConfig(
+            pruning_rate=rate, float_backend="gpu", shadow_backend="cpu",
+        )).prefill(prompt_len).tokens_per_s
+        table.add_row(f"{rate:.0%}", cpu, gpu, tri)
+    table.add_note("negative result: the tri-processor mode matches "
+                   "GPU-NPU — shadow work is too small to contend, as the "
+                   "paper's overlap argument predicts")
+    return table
+
+
+def future_hardware(
+    model="Qwen1.5-1.8B",
+    device="Redmi K70 Pro",
+    prompt_len: int = 1024,
+    npu_speedups: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+) -> Table:
+    """§5's hardware-design implications, quantified: how far faster NPUs
+    carry prefill before the CPU float path becomes the bottleneck."""
+    cfg = get_model_config(model) if isinstance(model, str) else model
+    dev = get_device(device) if isinstance(device, str) else device
+    table = Table(
+        title=f"§5 what-if — NPU speedups, {cfg.name}, prompt={prompt_len}",
+        columns=["NPU speedup", "prefill tok/s", "NPU busy s",
+                 "float busy s", "bottleneck"],
+    )
+    for factor in npu_speedups:
+        what_if = dev.scaled(
+            name=f"{dev.name} x{factor:g}", soc=dev.soc,
+            cpu_gpu=1.0, npu=factor, dram_bytes=dev.dram_bytes,
+        )
+        engine = LlmNpuEngine(cfg, what_if)
+        report = engine.prefill(prompt_len)
+        bottleneck = ("NPU" if report.npu_busy_s > report.float_busy_s
+                      else "CPU")
+        table.add_row(f"{factor:g}x", report.tokens_per_s,
+                      report.npu_busy_s, report.float_busy_s, bottleneck)
+    table.add_note("once the CPU float path dominates, the paper's §5 "
+                   "remedies apply: GPU coordination and mixed-precision "
+                   "NPU units")
+    return table

@@ -1,0 +1,81 @@
+"""Energy (Figure 15) and memory (Figure 17) experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import make_baseline
+from repro.core import LlmNpuEngine
+from repro.eval.report import Table
+from repro.hw.soc import get_device
+from repro.model.config import get_model_config
+
+
+def fig15_energy(
+    models: Sequence = ("Qwen1.5-1.8B", "Gemma-2B", "LlaMA-2-7B"),
+    device="Redmi K60 Pro",
+    prompt_lens: Sequence[int] = (64, 1024),
+) -> Table:
+    """Regenerate Figure 15: prefill energy per engine.
+
+    The paper measures energy on the Redmi K60 Pro (the rootable device)
+    and excludes PowerInfer-V2 (no published energy data).
+    """
+    dev = get_device(device) if isinstance(device, str) else device
+    engines = ("llm.npu", "llama.cpp-CPU", "MLC-GPU", "TFLite-GPU")
+    table = Table(
+        title=f"Figure 15 — prefill energy (J) on {dev.name}",
+        columns=["model", "engine"]
+        + [f"prompt={p}" for p in prompt_lens]
+        + [f"savings @{prompt_lens[-1]}"],
+    )
+    for model in models:
+        cfg = get_model_config(model) if isinstance(model, str) else model
+        rows = {}
+        for name in engines:
+            if name == "llm.npu":
+                engine = LlmNpuEngine(cfg, dev)
+            else:
+                engine = make_baseline(name, cfg, dev)
+            rows[name] = [
+                engine.infer(p, 0).extras["prefill_energy_j"]
+                for p in prompt_lens
+            ]
+        ours_last = rows["llm.npu"][-1]
+        for name in engines:
+            saving = (f"{rows[name][-1] / ours_last:.1f}x"
+                      if name != "llm.npu" else "1.0x")
+            table.add_row(cfg.name, name, *rows[name], saving)
+    table.add_note("paper bands at 1024 tokens: llama.cpp 35.6-59.5x, "
+                   "MLC 35.2-59.3x, TFLite 1.85-4.32x")
+    return table
+
+
+def fig17_memory(
+    models: Sequence = ("Qwen1.5-1.8B", "Gemma-2B", "Phi-2-2.7B"),
+    device="Redmi K60 Pro",
+    prompt_len: int = 512,
+) -> Table:
+    """Regenerate Figure 17: memory consumption vs INT8 baselines."""
+    dev = get_device(device) if isinstance(device, str) else device
+    table = Table(
+        title=f"Figure 17 — memory (GiB) at prompt={prompt_len} on "
+              f"{dev.name}",
+        columns=["model", "engine", "total GiB", "shadow weights GiB",
+                 "shadow share"],
+    )
+    gib = 1024 ** 3
+    for model in models:
+        cfg = get_model_config(model) if isinstance(model, str) else model
+        ours = LlmNpuEngine(cfg, dev)
+        total = ours.memory_bytes(prompt_len)
+        shadow = ours.shadow_weight_bytes()
+        table.add_row(cfg.name, "llm.npu", total / gib, shadow / gib,
+                      f"{shadow / total:.2%}")
+        for name in ("llama.cpp-CPU", "TFLite-GPU"):
+            engine = make_baseline(name, cfg, dev)
+            base_total = engine.memory_bytes(prompt_len)
+            table.add_row(cfg.name, name, base_total / gib, 0.0, "0%")
+    table.add_note("paper: llm.npu uses up to 1.32x the baselines (MLLM/QNN "
+                   "per-operator buffers); shadow weights are 0.6-1% of total")
+    return table

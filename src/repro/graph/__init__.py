@@ -1,0 +1,80 @@
+"""Compute-graph layer: operator IR, subgraph partitioning, chunk-sharing
+graphs (§3.2), equivalent-shape optimization, and memory planning."""
+
+from repro.graph.builder import (
+    BuildOptions,
+    ChunkPlan,
+    GraphBuilder,
+    ShadowProfile,
+)
+from repro.graph.chunk import (
+    ChunkSharingGraph,
+    SharingStats,
+    n_chunks_for,
+    padded_tokens,
+)
+from repro.graph.memory_plan import (
+    GraphMemoryPlan,
+    kv_cache_bytes,
+    plan_chunk_sharing,
+    plan_naive_chunk_graphs,
+    sharing_saving_fraction,
+)
+from repro.graph.ops import (
+    Backend,
+    DYNAMIC_POSITIONS,
+    NPU_POSITIONS,
+    OpKind,
+    OpSpec,
+    SG_ATTN,
+    SG_FFN,
+    SG_PRE_ATTN,
+    SG_PRE_FFN,
+    SG_QKV,
+    SG_WO,
+    SUBGRAPHS_PER_BLOCK,
+    ShadowSpec,
+    SubgraphSpec,
+)
+from repro.graph.shapes import (
+    MAX_SQUARE_SPEEDUP,
+    best_equivalent_shape,
+    equivalent_shape_gain,
+    factor_pairs,
+    shape_speedup,
+)
+
+__all__ = [
+    "GraphBuilder",
+    "BuildOptions",
+    "ChunkPlan",
+    "ShadowProfile",
+    "ChunkSharingGraph",
+    "SharingStats",
+    "n_chunks_for",
+    "padded_tokens",
+    "GraphMemoryPlan",
+    "kv_cache_bytes",
+    "plan_chunk_sharing",
+    "plan_naive_chunk_graphs",
+    "sharing_saving_fraction",
+    "OpKind",
+    "OpSpec",
+    "Backend",
+    "SubgraphSpec",
+    "ShadowSpec",
+    "SUBGRAPHS_PER_BLOCK",
+    "NPU_POSITIONS",
+    "DYNAMIC_POSITIONS",
+    "SG_PRE_ATTN",
+    "SG_QKV",
+    "SG_ATTN",
+    "SG_WO",
+    "SG_PRE_FFN",
+    "SG_FFN",
+    "factor_pairs",
+    "shape_speedup",
+    "best_equivalent_shape",
+    "equivalent_shape_gain",
+    "MAX_SQUARE_SPEEDUP",
+]

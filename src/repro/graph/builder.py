@@ -1,0 +1,310 @@
+"""Builds the subgraph-level execution plan for one chunk of prefill.
+
+Given a model config, a device, a chunk length and a chunk index, the
+builder emits the six :class:`SubgraphSpec` per transformer block (see
+:mod:`repro.graph.ops`) with latencies computed from the device's cost
+models, plus the per-NPU-subgraph :class:`ShadowSpec` describing the
+shadow outlier work (§3.3) for unpruned layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.hw.latency import (
+    NPU_GRAPH_NODE_OVERHEAD_S,
+    MatMulShape,
+    attention_latency,
+    disk_read_latency,
+    matmul_latency,
+    norm_latency,
+    per_group_matmul_latency,
+    quantize_latency,
+    shadow_matmul_latency,
+    sync_latency,
+)
+from repro.hw.processor import DType, ProcessorSpec
+from repro.hw.soc import SocSpec
+from repro.graph.ops import (
+    Backend,
+    OpKind,
+    OpSpec,
+    SG_ATTN,
+    SG_FFN,
+    SG_PRE_ATTN,
+    SG_PRE_FFN,
+    SG_QKV,
+    SG_WO,
+    ShadowSpec,
+    SubgraphSpec,
+)
+from repro.graph.shapes import equivalent_shape_gain
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class ShadowProfile:
+    """Per-layer shadow-execution parameters from calibration (§3.3)."""
+
+    outlier_channels: int = 8
+    pruned: bool = False
+    hot_hit_rate: float = 1.0
+    cold_bytes_per_miss: int = 0
+
+
+@dataclass(frozen=True)
+class BuildOptions:
+    """Knobs for the graph builder.
+
+    ``float_backend`` selects where float subgraphs run: 'cpu' or 'gpu'
+    (the Fig. 18 coordination comparison), or 'npu' — the §5 what-if where
+    a mixed-precision NPU runs its own float operators (catastrophic on
+    today's Hexagon FP16 path, viable on a hypothetical FP16-strong NPU).  ``weight_dtype`` / the quant
+    layout control the NPU MatMul cost (per-group triggers the Fig. 4
+    decomposition penalty).  ``equivalent_shapes`` applies the §4
+    shape-profiling speedup to NPU linears.
+    """
+
+    float_backend: str = "cpu"
+    weight_dtype: DType = DType.INT8
+    per_group: bool = False
+    group_size: int = 32
+    equivalent_shapes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.float_backend not in ("cpu", "gpu", "npu"):
+            raise GraphError(
+                f"float_backend must be 'cpu', 'gpu' or 'npu', "
+                f"got {self.float_backend!r}"
+            )
+
+
+@dataclass
+class ChunkPlan:
+    """The execution plan for one chunk: subgraphs plus shadow specs."""
+
+    chunk_index: int
+    chunk_len: int
+    kv_len: int
+    subgraphs: List[SubgraphSpec]
+    shadows: Dict[Tuple[int, int], ShadowSpec] = field(default_factory=dict)
+
+    def subgraph(self, layer: int, position: int) -> SubgraphSpec:
+        return self.subgraphs[layer * 6 + position]
+
+    def npu_latency_s(self) -> float:
+        return sum(s.latency_s for s in self.subgraphs if s.is_npu)
+
+    def float_latency_s(self) -> float:
+        return sum(s.latency_s for s in self.subgraphs if not s.is_npu)
+
+
+class GraphBuilder:
+    """Computes subgraph latencies for a (model, device, options) triple."""
+
+    def __init__(self, config: ModelConfig, device: SocSpec,
+                 options: Optional[BuildOptions] = None):
+        self.config = config
+        self.device = device
+        self.options = options if options is not None else BuildOptions()
+        self.float_proc: ProcessorSpec = device.processors[
+            self.options.float_backend
+        ]
+        self.npu: ProcessorSpec = device.npu
+
+    # -- NPU linear costs ---------------------------------------------------
+
+    def _npu_matmul_s(self, m: int, k: int, n: int,
+                      first_in_subgraph: bool = True) -> float:
+        """One NPU MatMul; non-first MatMuls of a subgraph pay only the
+        cheap intra-graph node overhead, not the full dispatch (the whole
+        subgraph is one pre-built QNN graph dispatched once)."""
+        shape = MatMulShape(m, k, n)
+        if self.options.per_group:
+            base = per_group_matmul_latency(
+                self.npu, shape, self.options.group_size,
+                self.options.weight_dtype,
+            )
+        else:
+            base = matmul_latency(self.npu, shape, self.options.weight_dtype)
+        if self.options.equivalent_shapes:
+            base /= equivalent_shape_gain(m)
+        if not first_in_subgraph:
+            profile = self.npu.matmul_profile(self.options.weight_dtype)
+            base = max(base - profile.overhead_s + NPU_GRAPH_NODE_OVERHEAD_S,
+                       0.0)
+        return base
+
+    # -- subgraph constructors ----------------------------------------------
+
+    def _pre_attn(self, layer: int, rows: int) -> SubgraphSpec:
+        h = self.config.hidden_size
+        latency = (norm_latency(self.float_proc, rows, h)
+                   + quantize_latency(self.float_proc, rows, h))
+        ops = (
+            OpSpec(OpKind.NORM, (rows, h)),
+            OpSpec(OpKind.QUANTIZE, (rows, h)),
+        )
+        return SubgraphSpec(layer, SG_PRE_ATTN, Backend.FLOAT, ops, latency,
+                            static=True, activation_bytes=rows * h * 4)
+
+    def _qkv(self, layer: int, rows: int) -> SubgraphSpec:
+        cfg = self.config
+        h = cfg.hidden_size
+        bpw = self.options.weight_dtype.bytes
+        latency = (self._npu_matmul_s(rows, h, cfg.q_dim)
+                   + 2 * self._npu_matmul_s(rows, h, cfg.kv_dim,
+                                            first_in_subgraph=False))
+        ops = (
+            OpSpec(OpKind.LINEAR, (rows, h, cfg.q_dim), h * cfg.q_dim * bpw),
+            OpSpec(OpKind.LINEAR, (rows, h, cfg.kv_dim), h * cfg.kv_dim * bpw),
+            OpSpec(OpKind.LINEAR, (rows, h, cfg.kv_dim), h * cfg.kv_dim * bpw),
+        )
+        weight_bytes = h * (cfg.q_dim + 2 * cfg.kv_dim) * bpw
+        act_bytes = rows * (cfg.q_dim + 2 * cfg.kv_dim) * 4
+        return SubgraphSpec(layer, SG_QKV, Backend.NPU, ops, latency,
+                            static=True, weight_bytes=weight_bytes,
+                            activation_bytes=act_bytes)
+
+    def _attention(self, layer: int, rows: int, kv_len: int) -> SubgraphSpec:
+        cfg = self.config
+        rope = self.float_proc.vector_latency(
+            rows * (cfg.q_dim + cfg.kv_dim), 4.0
+        )
+        attn = attention_latency(self.float_proc, rows, kv_len,
+                                 cfg.n_heads, cfg.dim_per_head)
+        dequant = quantize_latency(self.float_proc, rows, cfg.q_dim)
+        ops = (
+            OpSpec(OpKind.ROPE, (rows, cfg.q_dim)),
+            OpSpec(OpKind.ATTENTION, (rows, kv_len)),
+            OpSpec(OpKind.DEQUANTIZE, (rows, cfg.q_dim)),
+        )
+        # Workspace only: the attention graph reads the shared KV-cache
+        # region and the static subgraphs' activation buffers in place; its
+        # private memory is a tiled score buffer plus an output accumulator
+        # (mobile kernels compute scores in 64-column tiles).
+        score_tile = min(kv_len, 64)
+        act_bytes = (rows * score_tile * cfg.n_heads
+                     + rows * cfg.n_heads * cfg.dim_per_head) * 4
+        return SubgraphSpec(layer, SG_ATTN, Backend.FLOAT, ops,
+                            rope + attn + dequant, static=False,
+                            activation_bytes=act_bytes)
+
+    def _wo(self, layer: int, rows: int) -> SubgraphSpec:
+        cfg = self.config
+        bpw = self.options.weight_dtype.bytes
+        latency = self._npu_matmul_s(rows, cfg.q_dim, cfg.hidden_size)
+        ops = (OpSpec(OpKind.LINEAR, (rows, cfg.q_dim, cfg.hidden_size),
+                      cfg.q_dim * cfg.hidden_size * bpw),)
+        return SubgraphSpec(layer, SG_WO, Backend.NPU, ops, latency,
+                            static=True,
+                            weight_bytes=cfg.q_dim * cfg.hidden_size * bpw,
+                            activation_bytes=rows * cfg.hidden_size * 4)
+
+    def _pre_ffn(self, layer: int, rows: int) -> SubgraphSpec:
+        h = self.config.hidden_size
+        latency = (self.float_proc.vector_latency(rows * h, 1.0)  # residual
+                   + norm_latency(self.float_proc, rows, h)
+                   + quantize_latency(self.float_proc, rows, h))
+        ops = (
+            OpSpec(OpKind.ADD, (rows, h)),
+            OpSpec(OpKind.NORM, (rows, h)),
+            OpSpec(OpKind.QUANTIZE, (rows, h)),
+        )
+        return SubgraphSpec(layer, SG_PRE_FFN, Backend.FLOAT, ops, latency,
+                            static=True, activation_bytes=rows * h * 4)
+
+    def _ffn(self, layer: int, rows: int) -> SubgraphSpec:
+        cfg = self.config
+        h, f = cfg.hidden_size, cfg.ffn_hidden
+        bpw = self.options.weight_dtype.bytes
+        n_up = 2 if cfg.gated_ffn else 1
+        latency = (self._npu_matmul_s(rows, h, f)
+                   + (n_up - 1) * self._npu_matmul_s(rows, h, f,
+                                                     first_in_subgraph=False)
+                   + self.npu.vector_latency(rows * f, 6.0)  # act on NPU
+                   + self._npu_matmul_s(rows, f, h,
+                                        first_in_subgraph=False))
+        ops = tuple(
+            [OpSpec(OpKind.LINEAR, (rows, h, f), h * f * bpw)] * n_up
+            + [OpSpec(OpKind.ACTIVATION, (rows, f)),
+               OpSpec(OpKind.LINEAR, (rows, f, h), f * h * bpw)]
+        )
+        weight_bytes = (n_up + 1) * h * f * bpw
+        return SubgraphSpec(layer, SG_FFN, Backend.NPU, ops, latency,
+                            static=True, weight_bytes=weight_bytes,
+                            activation_bytes=rows * f * 4)
+
+    def _shadow(self, layer: int, position: int, rows: int, n_out: int,
+                profile: ShadowProfile) -> ShadowSpec:
+        if profile.pruned or profile.outlier_channels <= 0:
+            return ShadowSpec(layer, position, 0.0, 0.0, 0.0)
+        matmul = shadow_matmul_latency(
+            self.float_proc, rows, profile.outlier_channels, n_out
+        )
+        if self.float_proc is self.npu:
+            # same processor: the merge is a vector add, no cross-
+            # processor fence (the §5 mixed-precision-NPU what-if)
+            sync = self.npu.vector_latency(rows * n_out, 1.0)
+        else:
+            sync = sync_latency(self.float_proc, self.npu,
+                                rows * n_out * 4)
+        disk = 0.0
+        miss_rate = 1.0 - profile.hot_hit_rate
+        if miss_rate > 0 and profile.cold_bytes_per_miss > 0:
+            expected_misses = profile.outlier_channels * miss_rate
+            disk = expected_misses * disk_read_latency(
+                profile.cold_bytes_per_miss
+            )
+        return ShadowSpec(layer, position, matmul, sync, disk)
+
+    # -- public API -----------------------------------------------------------
+
+    def build_chunk(self, chunk_index: int, chunk_len: int,
+                    shadow_profiles: Optional[Dict[int, ShadowProfile]] = None
+                    ) -> ChunkPlan:
+        """Build the plan for chunk ``chunk_index`` (0-based).
+
+        The static-shape constraint means every chunk executes with
+        ``rows = chunk_len``; the attention KV length grows with the chunk
+        index (``(i+1) * chunk_len``) per the §3.2 causal decomposition.
+        """
+        if chunk_index < 0 or chunk_len <= 0:
+            raise GraphError(
+                f"invalid chunk index {chunk_index} / length {chunk_len}"
+            )
+        rows = chunk_len
+        kv_len = (chunk_index + 1) * chunk_len
+        cfg = self.config
+        subgraphs: List[SubgraphSpec] = []
+        shadows: Dict[Tuple[int, int], ShadowSpec] = {}
+        for layer in range(cfg.n_layers):
+            subgraphs.extend([
+                self._pre_attn(layer, rows),
+                self._qkv(layer, rows),
+                self._attention(layer, rows, kv_len),
+                self._wo(layer, rows),
+                self._pre_ffn(layer, rows),
+                self._ffn(layer, rows),
+            ])
+            profile = (shadow_profiles or {}).get(layer, ShadowProfile())
+            shadows[(layer, SG_QKV)] = self._shadow(
+                layer, SG_QKV, rows, cfg.q_dim + 2 * cfg.kv_dim, profile
+            )
+            shadows[(layer, SG_WO)] = self._shadow(
+                layer, SG_WO, rows, cfg.hidden_size, profile
+            )
+            n_up = 2 if cfg.gated_ffn else 1
+            shadows[(layer, SG_FFN)] = self._shadow(
+                layer, SG_FFN, rows, n_up * cfg.ffn_hidden + cfg.hidden_size,
+                profile,
+            )
+        return ChunkPlan(chunk_index, chunk_len, kv_len, subgraphs, shadows)
+
+    def npu_ops_per_block(self) -> int:
+        """NPU-visible op count per block, for graph lifecycle costs."""
+        plan = self.build_chunk(0, 32)
+        per_block = [s for s in plan.subgraphs if s.layer == 0]
+        return sum(s.op_count() for s in per_block)

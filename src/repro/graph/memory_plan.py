@@ -1,0 +1,106 @@
+"""Graph memory accounting (§3.2 and Fig. 17).
+
+Loading multiple pre-built chunk graphs naively duplicates every
+subgraph's activation buffers per chunk position — the 2–4× overhead the
+paper measures — while the chunk-sharing graph keeps one copy of each
+static subgraph and only duplicates the (weight-less) attention subgraphs.
+This module computes both numbers, plus the engine-level totals used by
+the Fig. 17 memory comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graph.chunk import ChunkSharingGraph
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class GraphMemoryPlan:
+    """Byte totals for one engine configuration."""
+
+    weights_bytes: int
+    shared_activation_bytes: int
+    dynamic_activation_bytes: int
+    kv_cache_bytes: int
+    shadow_weights_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.weights_bytes + self.shared_activation_bytes
+                + self.dynamic_activation_bytes + self.kv_cache_bytes
+                + self.shadow_weights_bytes)
+
+    @property
+    def activation_bytes(self) -> int:
+        return self.shared_activation_bytes + self.dynamic_activation_bytes
+
+
+def kv_cache_bytes(config: ModelConfig, tokens: int,
+                   bytes_per_value: int = 2) -> int:
+    """KV cache footprint for ``tokens`` cached positions (FP16)."""
+    if tokens < 0:
+        raise GraphError(f"negative token count {tokens}")
+    return (2 * tokens * config.n_layers * config.kv_dim * bytes_per_value)
+
+
+def plan_chunk_sharing(graph: ChunkSharingGraph,
+                       prompt_len: int,
+                       shadow_weights_bytes: int = 0) -> GraphMemoryPlan:
+    """Memory plan under the chunk-sharing strategy (llm.npu)."""
+    plan0 = graph.plan_for_chunk(0)
+    weights = sum(s.weight_bytes for s in plan0.subgraphs)
+    shared_act = sum(
+        s.activation_bytes for s in plan0.subgraphs if s.static
+    )
+    # One dynamic (attention) subgraph instance per chunk position, with
+    # buffers sized for that position's KV length.
+    dynamic_act = 0
+    for i in range(graph.max_chunks):
+        plan = graph.plan_for_chunk(i)
+        dynamic_act += sum(
+            s.activation_bytes for s in plan.subgraphs if not s.static
+        )
+    kv = kv_cache_bytes(graph.builder.config, prompt_len)
+    return GraphMemoryPlan(
+        weights_bytes=weights,
+        shared_activation_bytes=shared_act,
+        dynamic_activation_bytes=dynamic_act,
+        kv_cache_bytes=kv,
+        shadow_weights_bytes=shadow_weights_bytes,
+    )
+
+
+def plan_naive_chunk_graphs(graph: ChunkSharingGraph,
+                            prompt_len: int) -> GraphMemoryPlan:
+    """Memory plan when every chunk position holds a full graph copy.
+
+    Weights are still shared (they are immutable device buffers); what
+    multiplies is every subgraph's activation workspace — which is exactly
+    what the paper observed costing 2–4x the LLM weights.
+    """
+    total_act = 0
+    for i in range(graph.max_chunks):
+        plan = graph.plan_for_chunk(i)
+        total_act += sum(s.activation_bytes for s in plan.subgraphs)
+    plan0 = graph.plan_for_chunk(0)
+    weights = sum(s.weight_bytes for s in plan0.subgraphs)
+    kv = kv_cache_bytes(graph.builder.config, prompt_len)
+    return GraphMemoryPlan(
+        weights_bytes=weights,
+        shared_activation_bytes=0,
+        dynamic_activation_bytes=total_act,
+        kv_cache_bytes=kv,
+    )
+
+
+def sharing_saving_fraction(graph: ChunkSharingGraph,
+                            prompt_len: int) -> float:
+    """Fraction of activation memory saved by chunk sharing (up to ~75%)."""
+    shared = plan_chunk_sharing(graph, prompt_len)
+    naive = plan_naive_chunk_graphs(graph, prompt_len)
+    if naive.activation_bytes == 0:
+        return 0.0
+    return 1.0 - shared.activation_bytes / naive.activation_bytes

@@ -1,0 +1,103 @@
+"""Energy accounting for the SoC simulator.
+
+Energy = Σ over processors of (active power × busy time + idle power ×
+idle time) across the makespan, matching how the paper samples the Android
+power supply during a run (§4.1).  The per-processor power levels encode
+the paper's qualitative measurement: during prefill all CPU cores run at
+full tilt and draw the most power, the GPU is intermediate, and the NPU at
+500–750 MHz draws the least (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import HardwareError
+from repro.hw.processor import ProcessorSpec
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent per processor plus the idle/base platform draw."""
+
+    per_processor: Dict[str, float]
+    platform: float
+
+    @property
+    def total_j(self) -> float:
+        return self.platform + sum(self.per_processor.values())
+
+
+#: Fraction of a processor's active power drawn while executing
+#: bandwidth-bound *helper* work (attention GEMMs, shadow MatMuls, syncs)
+#: rather than all-lanes compute.  During llm.npu prefill the CPU is a
+#: helper — a couple of cores streaming memory — not the all-cores GEMM
+#: engine the CPU *baselines* run, and its power draw reflects that
+#: (§4.2: "during the LLM prefill stage, all CPU cores are fully
+#: utilized" describes the CPU engines, not llm.npu's CPU side).
+HELPER_POWER_FRACTION = 0.45
+
+
+class EnergyModel:
+    """Integrates processor busy intervals into energy.
+
+    ``platform_power_w`` models the always-on rest of the phone (DRAM
+    refresh, rails, screen off) charged over the makespan.
+    """
+
+    def __init__(self, processors: Mapping[str, ProcessorSpec],
+                 platform_power_w: float = 0.8):
+        if platform_power_w < 0:
+            raise HardwareError("platform power must be non-negative")
+        self.processors = dict(processors)
+        self.platform_power_w = platform_power_w
+
+    def energy(self, busy_seconds: Mapping[str, float],
+               makespan_s: float,
+               helper_seconds: Optional[Mapping[str, float]] = None,
+               ) -> EnergyBreakdown:
+        """Energy for a run with the given per-processor busy time.
+
+        ``helper_seconds`` marks, per processor, how much of its busy time
+        was bandwidth-bound helper work charged at
+        :data:`HELPER_POWER_FRACTION` of active power instead of the full
+        all-lanes draw.  Must be <= the processor's busy time.
+        """
+        if makespan_s < 0:
+            raise HardwareError(f"negative makespan {makespan_s}")
+        helper_seconds = helper_seconds or {}
+        per_proc: Dict[str, float] = {}
+        for name, spec in self.processors.items():
+            busy = float(busy_seconds.get(name, 0.0))
+            if busy > makespan_s * (1 + 1e-9):
+                raise HardwareError(
+                    f"{name} busy {busy:.4f}s exceeds makespan "
+                    f"{makespan_s:.4f}s"
+                )
+            helper = float(helper_seconds.get(name, 0.0))
+            if helper > busy * (1 + 1e-9):
+                raise HardwareError(
+                    f"{name} helper time {helper:.4f}s exceeds busy "
+                    f"time {busy:.4f}s"
+                )
+            full = busy - helper
+            idle = max(0.0, makespan_s - busy)
+            helper_power = spec.active_power_w * HELPER_POWER_FRACTION
+            per_proc[name] = (spec.active_power_w * full
+                              + max(helper_power, spec.idle_power_w) * helper
+                              + spec.idle_power_w * idle)
+        return EnergyBreakdown(
+            per_processor=per_proc,
+            platform=self.platform_power_w * makespan_s,
+        )
+
+    def busy_energy_j(self, proc_name: str, seconds: float) -> float:
+        """Energy for one processor being active for ``seconds``."""
+        try:
+            spec = self.processors[proc_name]
+        except KeyError:
+            raise HardwareError(f"unknown processor {proc_name!r}") from None
+        if seconds < 0:
+            raise HardwareError(f"negative duration {seconds}")
+        return spec.active_power_w * seconds

@@ -1,0 +1,69 @@
+"""NPU compute-graph lifecycle costs (Figure 2 of the paper).
+
+Executing a DNN on a mobile NPU requires: configuring the environment,
+*creating* the compute graph (IR translation + memory allocation,
+300–500 ms), *optimizing* it (layout / execution order / operator fusion,
+many seconds — 11.54 s for Gemma-2B on QNN), executing it, and freeing it.
+Because the SDKs only compile **static shapes**, a naive engine must
+re-create and re-optimize the graph for every new prompt length — the
+first gap (§2.3) that chunk-sharing graphs close by pre-building
+fixed-shape chunk graphs once.
+
+Constants are calibrated against the paper's published measurements:
+Gemma-2B full-graph build 360 ms / optimize 11.54 s, with per-operator
+scaling so smaller (chunk/sub) graphs cost proportionally less.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+#: Gemma-2B reference: 18 layers x ~12 NPU ops/layer = ~216 ops;
+#: 360 ms build / 216 ops and 11.54 s optimize / 216 ops.
+BUILD_S_PER_OP = 0.360 / 216
+OPTIMIZE_S_PER_OP = 11.54 / 216
+
+
+@dataclass(frozen=True)
+class NpuGraphCostModel:
+    """Costs of the five lifecycle stages for a graph of ``n_ops`` operators."""
+
+    env_setup_s: float = 0.050
+    build_s_per_op: float = BUILD_S_PER_OP
+    optimize_s_per_op: float = OPTIMIZE_S_PER_OP
+    build_base_s: float = 0.020
+    optimize_base_s: float = 0.100
+    free_s: float = 0.005
+
+    def build_s(self, n_ops: int) -> float:
+        """Graph creation: IR translation + memory allocation."""
+        self._check(n_ops)
+        return self.build_base_s + n_ops * self.build_s_per_op
+
+    def optimize_s(self, n_ops: int) -> float:
+        """Graph optimization: layout, execution order, operator fusion."""
+        self._check(n_ops)
+        return self.optimize_base_s + n_ops * self.optimize_s_per_op
+
+    def prepare_s(self, n_ops: int) -> float:
+        """Full preparation: setup + build + optimize."""
+        return self.env_setup_s + self.build_s(n_ops) + self.optimize_s(n_ops)
+
+    @staticmethod
+    def _check(n_ops: int) -> None:
+        if n_ops <= 0:
+            raise HardwareError(f"graph must have >= 1 op, got {n_ops}")
+
+
+def graph_ops_for_model(n_layers: int, ops_per_layer: int = 12) -> int:
+    """Approximate NPU-op count for a full-model graph.
+
+    ~12 NPU-visible ops per transformer block: 7 linears, 2 norms-adjacent
+    quant/dequant pairs, and activation/add glue — matching the Gemma-2B
+    calibration point.
+    """
+    if n_layers <= 0:
+        raise HardwareError(f"n_layers must be positive, got {n_layers}")
+    return n_layers * ops_per_layer

@@ -1,0 +1,210 @@
+"""Discrete-event simulator for heterogeneous task graphs.
+
+Tasks carry a processor assignment, a duration (from the latency models),
+and dependencies.  The simulator enforces the paper's Eq. 4 constraint —
+each processor executes exactly one subgraph at a time — and delegates the
+*choice* among ready tasks to a pluggable :class:`SchedulingPolicy`, which
+is where llm.npu's out-of-order heuristic (§3.4) plugs in.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import DependencyError, SchedulingError
+from repro.hw.trace import Trace, TraceEvent
+
+
+@dataclass(frozen=True)
+class Task:
+    """A schedulable unit (one subgraph execution, sync, etc.)."""
+
+    task_id: str
+    proc: str
+    duration_s: float
+    deps: Tuple[str, ...] = ()
+    tag: str = ""
+    chunk: int = -1
+    subgraph: int = -1
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise SchedulingError(
+                f"task {self.task_id}: negative duration"
+            )
+
+
+class SchedulingPolicy:
+    """Chooses which ready task a newly-idle processor runs next.
+
+    ``select`` may return ``None`` to deliberately keep the processor idle
+    until the next completion event — how head-of-line-blocking command
+    queues behave (see :class:`HeadOfLinePolicy`).
+    """
+
+    name = "base"
+
+    def select(self, proc: str, ready: List[Task],
+               context: "SimContext") -> Optional[Task]:
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Submission-order (in-order) scheduling — the naive overlap baseline
+    of Fig. 13(a)."""
+
+    name = "fifo"
+
+    def select(self, proc: str, ready: List[Task],
+               context: "SimContext") -> Task:
+        return min(ready, key=lambda t: context.submit_index[t.task_id])
+
+
+@dataclass
+class SimContext:
+    """Read-only state handed to policies at each decision point."""
+
+    tasks: Mapping[str, Task]
+    submit_index: Mapping[str, int]
+    dependents: Mapping[str, Tuple[str, ...]]
+    completed: Set[str]
+    now_s: float
+
+    def remaining_deps(self, task_id: str) -> int:
+        task = self.tasks[task_id]
+        return sum(1 for d in task.deps if d not in self.completed)
+
+
+class Simulator:
+    """List scheduler over a fixed set of serial processors."""
+
+    def __init__(self, processor_names: Iterable[str]):
+        self.processor_names = list(processor_names)
+        if not self.processor_names:
+            raise SchedulingError("simulator needs at least one processor")
+
+    def run(self, tasks: List[Task],
+            policy: Optional[SchedulingPolicy] = None) -> Trace:
+        """Execute the task graph; returns the trace.
+
+        Raises :class:`DependencyError` for unknown/cyclic dependencies or
+        tasks assigned to unknown processors.
+        """
+        policy = policy if policy is not None else FifoPolicy()
+        by_id = {t.task_id: t for t in tasks}
+        if len(by_id) != len(tasks):
+            raise DependencyError("duplicate task ids")
+        for t in tasks:
+            if t.proc not in self.processor_names:
+                raise DependencyError(
+                    f"task {t.task_id}: unknown processor {t.proc!r}"
+                )
+            for d in t.deps:
+                if d not in by_id:
+                    raise DependencyError(
+                        f"task {t.task_id}: unknown dependency {d!r}"
+                    )
+
+        submit_index = {t.task_id: i for i, t in enumerate(tasks)}
+        dependents: Dict[str, List[str]] = {t.task_id: [] for t in tasks}
+        missing: Dict[str, int] = {}
+        for t in tasks:
+            missing[t.task_id] = len(set(t.deps))
+            for d in set(t.deps):
+                dependents[d].append(t.task_id)
+
+        ready: Dict[str, List[Task]] = {p: [] for p in self.processor_names}
+        for t in tasks:
+            if missing[t.task_id] == 0:
+                ready[t.proc].append(t)
+
+        completed: Set[str] = set()
+        context = SimContext(
+            tasks=by_id,
+            submit_index=submit_index,
+            dependents={k: tuple(v) for k, v in dependents.items()},
+            completed=completed,
+            now_s=0.0,
+        )
+
+        trace = Trace()
+        # (finish_time, seq, task) heap of running tasks; seq breaks ties.
+        running: List[Tuple[float, int, Task]] = []
+        seq = itertools.count()
+        proc_busy: Dict[str, bool] = {p: False for p in self.processor_names}
+        now = 0.0
+        n_done = 0
+
+        def dispatch() -> None:
+            for proc in self.processor_names:
+                if proc_busy[proc] or not ready[proc]:
+                    continue
+                context.now_s = now
+                task = policy.select(proc, list(ready[proc]), context)
+                if task is None:
+                    continue  # policy keeps the processor idle for now
+                if task not in ready[proc]:
+                    raise SchedulingError(
+                        f"policy {policy.name!r} selected a non-ready task"
+                    )
+                ready[proc].remove(task)
+                proc_busy[proc] = True
+                end = now + task.duration_s
+                heapq.heappush(running, (end, next(seq), task))
+                trace.add(TraceEvent(task.task_id, proc, now, end, task.tag))
+
+        dispatch()
+        while running:
+            now, _, finished = heapq.heappop(running)
+            proc_busy[finished.proc] = False
+            completed.add(finished.task_id)
+            n_done += 1
+            # Drain co-terminating tasks so dispatch sees all frees at once.
+            while running and running[0][0] == now:
+                _, _, other = heapq.heappop(running)
+                proc_busy[other.proc] = False
+                completed.add(other.task_id)
+                n_done += 1
+                for dep_id in dependents[other.task_id]:
+                    missing[dep_id] -= 1
+                    if missing[dep_id] == 0:
+                        t = by_id[dep_id]
+                        ready[t.proc].append(t)
+            for dep_id in dependents[finished.task_id]:
+                missing[dep_id] -= 1
+                if missing[dep_id] == 0:
+                    t = by_id[dep_id]
+                    ready[t.proc].append(t)
+            dispatch()
+
+        if n_done != len(tasks):
+            stuck = [t.task_id for t in tasks if t.task_id not in completed]
+            raise DependencyError(
+                f"deadlock: {len(stuck)} tasks never became ready "
+                f"(cyclic dependencies?): {stuck[:5]}"
+            )
+        trace.validate_serial()
+        return trace
+
+
+def critical_path_s(tasks: List[Task]) -> float:
+    """Length of the dependency critical path (infinite processors bound)."""
+    by_id = {t.task_id: t for t in tasks}
+    finish: Dict[str, float] = {}
+
+    def resolve(task_id: str, stack: Set[str]) -> float:
+        if task_id in finish:
+            return finish[task_id]
+        if task_id in stack:
+            raise DependencyError(f"cycle involving {task_id!r}")
+        stack.add(task_id)
+        task = by_id[task_id]
+        start = max((resolve(d, stack) for d in task.deps), default=0.0)
+        stack.remove(task_id)
+        finish[task_id] = start + task.duration_s
+        return finish[task_id]
+
+    return max((resolve(t.task_id, set()) for t in tasks), default=0.0)

@@ -1,0 +1,138 @@
+"""Execution traces produced by the discrete-event simulator.
+
+A :class:`Trace` records when every task ran on which processor.  It
+provides the metrics the paper reports: makespan, per-processor busy time
+and **bubble rate** (§3.4 — the fraction of a processor's active span it
+spends stalled, 37% for naive in-order overlap on the critical path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One task execution interval."""
+
+    task_id: str
+    proc: str
+    start_s: float
+    end_s: float
+    tag: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class Trace:
+    """A completed schedule."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        if event.end_s < event.start_s:
+            raise SchedulingError(
+                f"event {event.task_id} ends before it starts"
+            )
+        self.events.append(event)
+
+    @property
+    def makespan_s(self) -> float:
+        """End time of the last task (start at 0)."""
+        if not self.events:
+            return 0.0
+        return max(e.end_s for e in self.events)
+
+    def processors(self) -> List[str]:
+        return sorted({e.proc for e in self.events})
+
+    def events_on(self, proc: str) -> List[TraceEvent]:
+        return sorted((e for e in self.events if e.proc == proc),
+                      key=lambda e: e.start_s)
+
+    def busy_seconds(self, proc: Optional[str] = None) -> float:
+        """Total execution time on one processor (or all)."""
+        events = self.events if proc is None else self.events_on(proc)
+        return sum(e.duration_s for e in events)
+
+    def busy_by_processor(self) -> Dict[str, float]:
+        return {p: self.busy_seconds(p) for p in self.processors()}
+
+    def span_s(self, proc: str) -> float:
+        """First-start to last-end interval on one processor."""
+        events = self.events_on(proc)
+        if not events:
+            return 0.0
+        return max(e.end_s for e in events) - min(e.start_s for e in events)
+
+    def bubble_rate(self, proc: str) -> float:
+        """Idle fraction of the processor's active span (§3.4's metric)."""
+        span = self.span_s(proc)
+        if span <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy_seconds(proc) / span)
+
+    def utilization(self, proc: str) -> float:
+        """Busy fraction of the whole makespan."""
+        makespan = self.makespan_s
+        if makespan <= 0:
+            return 0.0
+        return self.busy_seconds(proc) / makespan
+
+    def busy_by_tag(self) -> Dict[str, float]:
+        """Total execution time grouped by task tag."""
+        out: Dict[str, float] = {}
+        for e in self.events:
+            out[e.tag] = out.get(e.tag, 0.0) + e.duration_s
+        return out
+
+    def order_on(self, proc: str) -> List[str]:
+        """Task ids in execution order on one processor."""
+        return [e.task_id for e in self.events_on(proc)]
+
+    def validate_serial(self) -> None:
+        """Check no two tasks overlap on the same processor (Eq. 4)."""
+        for proc in self.processors():
+            events = self.events_on(proc)
+            for a, b in zip(events, events[1:]):
+                if b.start_s < a.end_s - 1e-12:
+                    raise SchedulingError(
+                        f"{proc}: tasks {a.task_id} and {b.task_id} overlap"
+                    )
+
+    def to_chrome_trace(self) -> List[dict]:
+        """Export as Chrome-trace-format events (``chrome://tracing``,
+        Perfetto).  Timestamps in microseconds; one 'thread' per
+        processor."""
+        pids = {proc: i for i, proc in enumerate(self.processors())}
+        out = []
+        for proc, pid in pids.items():
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": pid,
+                "args": {"name": proc},
+            })
+        for e in self.events:
+            out.append({
+                "name": e.task_id,
+                "cat": e.tag or "task",
+                "ph": "X",
+                "pid": 0,
+                "tid": pids[e.proc],
+                "ts": e.start_s * 1e6,
+                "dur": e.duration_s * 1e6,
+            })
+        return out
+
+    def save_chrome_trace(self, path: str) -> None:
+        """Write the Chrome-trace JSON to ``path``."""
+        import json
+        import os
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as f:
+            json.dump(self.to_chrome_trace(), f)

@@ -1,0 +1,94 @@
+"""Decoder-only transformer substrate (numpy).
+
+Public surface: model configs (including the five paper LLM presets), the
+:class:`DecoderModel` with monolithic/chunked prefill and decode, KV cache,
+synthetic weight generation with controllable outlier structure, samplers,
+and a toy tokenizer for examples.
+"""
+
+from repro.model.attention import AttentionBlock, causal_attention
+from repro.model.config import (
+    EXTRA_MODELS,
+    GEMMA_2B,
+    LLAMA2_7B,
+    MISTRAL_7B,
+    PAPER_MODELS,
+    PHI2_27B,
+    PHI3_MINI,
+    QWEN15_18B,
+    QWEN2_15B,
+    ModelConfig,
+    get_model_config,
+    tiny_config,
+)
+from repro.model.kv_cache import KVCache, LayerKVCache
+from repro.model.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    RMSNorm,
+    gelu,
+    relu,
+    silu,
+    softmax,
+)
+from repro.model.rope import apply_rope, rope_angles, rope_frequencies
+from repro.model.sampler import generate, greedy, top_k, top_p
+from repro.model.synthetic import (
+    OutlierSpec,
+    build_synthetic_model,
+    build_synthetic_weights,
+    depth_factor,
+)
+from repro.model.tokenizer import ToyTokenizer
+from repro.model.transformer import (
+    LINEAR_SITES,
+    DecoderLayer,
+    DecoderLayerWeights,
+    DecoderModel,
+    ModelWeights,
+)
+
+__all__ = [
+    "AttentionBlock",
+    "causal_attention",
+    "ModelConfig",
+    "get_model_config",
+    "tiny_config",
+    "PAPER_MODELS",
+    "EXTRA_MODELS",
+    "QWEN2_15B",
+    "PHI3_MINI",
+    "QWEN15_18B",
+    "GEMMA_2B",
+    "PHI2_27B",
+    "LLAMA2_7B",
+    "MISTRAL_7B",
+    "KVCache",
+    "LayerKVCache",
+    "Embedding",
+    "Linear",
+    "RMSNorm",
+    "LayerNorm",
+    "silu",
+    "gelu",
+    "relu",
+    "softmax",
+    "apply_rope",
+    "rope_angles",
+    "rope_frequencies",
+    "generate",
+    "greedy",
+    "top_k",
+    "top_p",
+    "OutlierSpec",
+    "build_synthetic_model",
+    "build_synthetic_weights",
+    "depth_factor",
+    "ToyTokenizer",
+    "DecoderModel",
+    "DecoderLayer",
+    "DecoderLayerWeights",
+    "ModelWeights",
+    "LINEAR_SITES",
+]

@@ -1,0 +1,124 @@
+"""Causal multi-head attention with grouped-query support and KV cache.
+
+Attention is one of the float operators the paper keeps on the CPU/GPU
+(Table 4: every SOTA quantization scheme runs attention in FP16).  The
+substrate therefore computes it in float32 unconditionally; only the linear
+projections around it are quantized.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.model.kv_cache import LayerKVCache
+from repro.model.layers import softmax
+
+
+def split_heads(x: np.ndarray, n_heads: int) -> np.ndarray:
+    """Reshape ``(seq, n_heads*head_dim)`` to ``(seq, n_heads, head_dim)``."""
+    seq, width = x.shape
+    if width % n_heads != 0:
+        raise ShapeError(f"width {width} not divisible by heads {n_heads}")
+    return x.reshape(seq, n_heads, width // n_heads)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_heads`."""
+    seq, n_heads, head_dim = x.shape
+    return x.reshape(seq, n_heads * head_dim)
+
+
+def repeat_kv(kv: np.ndarray, n_rep: int) -> np.ndarray:
+    """Expand KV heads for grouped-query attention.
+
+    ``(seq, kv_heads, dim)`` -> ``(seq, kv_heads * n_rep, dim)`` with each
+    KV head repeated ``n_rep`` times, matching HF ``repeat_kv`` semantics.
+    """
+    if n_rep == 1:
+        return kv
+    seq, kv_heads, dim = kv.shape
+    return np.repeat(kv, n_rep, axis=1)
+
+
+def causal_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q_positions: np.ndarray,
+) -> np.ndarray:
+    """Scaled dot-product attention with an absolute-position causal mask.
+
+    ``q`` is ``(q_len, n_heads, head_dim)``; ``k``/``v`` are
+    ``(kv_len, n_heads, head_dim)`` and cover absolute positions
+    ``0..kv_len-1``.  Query row ``i`` (absolute position ``q_positions[i]``)
+    may attend to key position ``j`` iff ``j <= q_positions[i]`` — which is
+    what makes chunked prefill produce the same outputs as monolithic
+    prefill (the paper's §3.2 correctness argument).
+    """
+    if q.ndim != 3 or k.ndim != 3 or v.ndim != 3:
+        raise ShapeError("attention inputs must be (seq, heads, dim)")
+    if k.shape != v.shape:
+        raise ShapeError(f"k shape {k.shape} != v shape {v.shape}")
+    if q.shape[1:] != k.shape[1:]:
+        raise ShapeError(
+            f"q heads/dim {q.shape[1:]} != k heads/dim {k.shape[1:]}"
+        )
+    q_len, n_heads, head_dim = q.shape
+    kv_len = k.shape[0]
+    q_positions = np.asarray(q_positions)
+    if q_positions.shape != (q_len,):
+        raise ShapeError("q_positions must have one entry per query row")
+    if q_positions.size and q_positions.max() >= kv_len:
+        raise ShapeError(
+            f"query position {int(q_positions.max())} has no cached key "
+            f"(kv_len={kv_len})"
+        )
+
+    # (heads, q_len, kv_len)
+    scores = np.einsum("qhd,khd->hqk", q, k) / np.sqrt(head_dim)
+    key_pos = np.arange(kv_len)
+    mask = key_pos[None, :] > q_positions[:, None]  # (q_len, kv_len)
+    scores = np.where(mask[None, :, :], -np.inf, scores)
+    probs = softmax(scores, axis=-1)
+    out = np.einsum("hqk,khd->qhd", probs, v)
+    return out
+
+
+class AttentionBlock:
+    """Attention core for one layer: RoPE'd Q against the KV cache.
+
+    The projections (QKV / O linears) live outside this class so the
+    quantization library can replace them; this class owns only the float
+    part that the paper schedules to CPU/GPU.
+    """
+
+    def __init__(self, n_heads: int, kv_heads: int, head_dim: int):
+        if n_heads % kv_heads != 0:
+            raise ShapeError(
+                f"n_heads {n_heads} not divisible by kv_heads {kv_heads}"
+            )
+        self.n_heads = n_heads
+        self.kv_heads = kv_heads
+        self.head_dim = head_dim
+
+    def __call__(
+        self,
+        q: np.ndarray,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        cache: LayerKVCache,
+        q_positions: np.ndarray,
+    ) -> np.ndarray:
+        """Append new K/V to the cache and attend.
+
+        ``q`` is ``(seq, n_heads, head_dim)`` (already RoPE-rotated), and
+        ``k_new``/``v_new`` are ``(seq, kv_heads, head_dim)`` (keys already
+        rotated).  Returns ``(seq, n_heads, head_dim)``.
+        """
+        cache.append(k_new, v_new)
+        n_rep = self.n_heads // self.kv_heads
+        k = repeat_kv(cache.keys, n_rep)
+        v = repeat_kv(cache.values, n_rep)
+        return causal_attention(q, k, v, q_positions)

@@ -1,0 +1,106 @@
+"""Key/value cache for incremental and chunked attention.
+
+The cache is the mechanism that makes the paper's chunk-wise prefill (§3.2)
+equivalent to monolithic prefill: the i-th chunk attends over the keys and
+values of chunks ``0..i`` — exactly the cross-chunk dependency of Eq. (2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class LayerKVCache:
+    """Append-only K/V store for one transformer layer.
+
+    Keys and values are stored as ``(seq, kv_heads, head_dim)``.  Appends
+    grow a preallocated buffer geometrically to keep amortized cost linear.
+    """
+
+    def __init__(self, kv_heads: int, head_dim: int, capacity: int = 64):
+        self.kv_heads = kv_heads
+        self.head_dim = head_dim
+        self._k = np.zeros((capacity, kv_heads, head_dim), dtype=np.float32)
+        self._v = np.zeros((capacity, kv_heads, head_dim), dtype=np.float32)
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def keys(self) -> np.ndarray:
+        """View of the populated keys, shape ``(len, kv_heads, head_dim)``."""
+        return self._k[: self._len]
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the populated values."""
+        return self._v[: self._len]
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append new rows of keys and values."""
+        expected = (self.kv_heads, self.head_dim)
+        if k.ndim != 3 or k.shape[1:] != expected:
+            raise ShapeError(
+                f"key shape {k.shape} must be (seq, {self.kv_heads}, "
+                f"{self.head_dim})"
+            )
+        if v.shape != k.shape:
+            raise ShapeError(f"value shape {v.shape} != key shape {k.shape}")
+        n = k.shape[0]
+        self._ensure(self._len + n)
+        self._k[self._len: self._len + n] = k
+        self._v[self._len: self._len + n] = v
+        self._len += n
+
+    def _ensure(self, capacity: int) -> None:
+        if capacity <= self._k.shape[0]:
+            return
+        new_cap = max(capacity, self._k.shape[0] * 2)
+        k = np.zeros((new_cap, self.kv_heads, self.head_dim), dtype=np.float32)
+        v = np.zeros_like(k)
+        k[: self._len] = self._k[: self._len]
+        v[: self._len] = self._v[: self._len]
+        self._k, self._v = k, v
+
+    def truncate(self, length: int) -> None:
+        """Drop entries beyond ``length`` (used to roll back speculative work)."""
+        if length < 0 or length > self._len:
+            raise ShapeError(f"cannot truncate to {length} (len={self._len})")
+        self._len = length
+
+    def nbytes(self) -> int:
+        """Bytes occupied by live cache entries (FP32)."""
+        return int(self._len * self.kv_heads * self.head_dim * 4 * 2)
+
+
+class KVCache:
+    """Per-layer K/V caches for a whole model."""
+
+    def __init__(self, n_layers: int, kv_heads: int, head_dim: int):
+        self.layers: List[LayerKVCache] = [
+            LayerKVCache(kv_heads, head_dim) for _ in range(n_layers)
+        ]
+
+    def __getitem__(self, layer: int) -> LayerKVCache:
+        return self.layers[layer]
+
+    def __len__(self) -> int:
+        """Number of cached positions (identical across layers)."""
+        return len(self.layers[0]) if self.layers else 0
+
+    def truncate(self, length: int) -> None:
+        for layer in self.layers:
+            layer.truncate(length)
+
+    def nbytes(self) -> int:
+        return sum(layer.nbytes() for layer in self.layers)
+
+    @classmethod
+    def for_config(cls, config) -> "KVCache":
+        """Build an empty cache sized for a :class:`ModelConfig`."""
+        return cls(config.n_layers, config.kv_heads, config.dim_per_head)

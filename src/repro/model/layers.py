@@ -1,0 +1,175 @@
+"""Numpy building blocks for the decoder-only transformer substrate.
+
+Everything operates on ``float32`` arrays shaped ``(seq, hidden)`` (no batch
+dimension — on-device inference serves one request at a time, matching the
+paper's setting).  Layers hold their parameters as plain numpy arrays so the
+quantization library can transform them in place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU (swish) activation: ``x * sigmoid(x)``."""
+    return x / (1.0 + np.exp(-x))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GeLU activation (tanh approximation, as used on-device)."""
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """ReLU activation."""
+    return np.maximum(x, 0.0)
+
+
+_ACTIVATIONS = {"silu": silu, "gelu": gelu, "relu": relu}
+
+
+def get_activation(name: str):
+    """Return the activation callable for a config name."""
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise ShapeError(f"unknown activation {name!r}") from None
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+class Linear:
+    """A dense layer ``y = x @ W.T + b`` with weights ``(out, in)``.
+
+    The weight layout matches PyTorch's ``nn.Linear`` so per-output-channel
+    scales are rows and per-input-channel (activation-channel) structure is
+    columns — the axis the paper's outlier machinery works on.
+    """
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray] = None,
+                 name: str = "linear"):
+        if weight.ndim != 2:
+            raise ShapeError(f"{name}: weight must be 2-D, got {weight.shape}")
+        if bias is not None and bias.shape != (weight.shape[0],):
+            raise ShapeError(
+                f"{name}: bias shape {bias.shape} does not match out "
+                f"features {weight.shape[0]}"
+            )
+        self.weight = weight.astype(np.float32)
+        self.bias = None if bias is None else bias.astype(np.float32)
+        self.name = name
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"{self.name}: input width {x.shape[-1]} != "
+                f"in_features {self.in_features}"
+            )
+        y = x @ self.weight.T
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Linear({self.name}: {self.in_features}->{self.out_features})"
+
+
+class RMSNorm:
+    """Root-mean-square layer normalization (LLaMA/Qwen/Gemma style)."""
+
+    def __init__(self, gain: np.ndarray, eps: float = 1e-6, name: str = "rmsnorm"):
+        if gain.ndim != 1:
+            raise ShapeError(f"{name}: gain must be 1-D, got {gain.shape}")
+        self.gain = gain.astype(np.float32)
+        self.eps = eps
+        self.name = name
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.gain.shape[0]:
+            raise ShapeError(
+                f"{self.name}: width {x.shape[-1]} != gain {self.gain.shape[0]}"
+            )
+        ms = np.mean(x * x, axis=-1, keepdims=True)
+        return x / np.sqrt(ms + self.eps) * self.gain
+
+
+class LayerNorm:
+    """Standard layer normalization (Phi-2 style)."""
+
+    def __init__(self, gain: np.ndarray, bias: np.ndarray,
+                 eps: float = 1e-5, name: str = "layernorm"):
+        if gain.shape != bias.shape or gain.ndim != 1:
+            raise ShapeError(f"{name}: gain/bias must be matching 1-D arrays")
+        self.gain = gain.astype(np.float32)
+        self.bias = bias.astype(np.float32)
+        self.eps = eps
+        self.name = name
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.gain.shape[0]:
+            raise ShapeError(
+                f"{self.name}: width {x.shape[-1]} != gain {self.gain.shape[0]}"
+            )
+        mean = np.mean(x, axis=-1, keepdims=True)
+        var = np.var(x, axis=-1, keepdims=True)
+        return (x - mean) / np.sqrt(var + self.eps) * self.gain + self.bias
+
+
+def make_norm(kind: str, width: int, gain: Optional[np.ndarray] = None,
+              bias: Optional[np.ndarray] = None, name: str = "norm"):
+    """Construct a norm layer of the configured kind with unit parameters."""
+    if gain is None:
+        gain = np.ones(width, dtype=np.float32)
+    if kind == "rmsnorm":
+        return RMSNorm(gain, name=name)
+    if kind == "layernorm":
+        if bias is None:
+            bias = np.zeros(width, dtype=np.float32)
+        return LayerNorm(gain, bias, name=name)
+    raise ShapeError(f"unknown norm kind {kind!r}")
+
+
+class Embedding:
+    """Token embedding lookup table shaped ``(vocab, hidden)``."""
+
+    def __init__(self, table: np.ndarray, name: str = "embed"):
+        if table.ndim != 2:
+            raise ShapeError(f"{name}: table must be 2-D, got {table.shape}")
+        self.table = table.astype(np.float32)
+        self.name = name
+
+    @property
+    def vocab_size(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def hidden_size(self) -> int:
+        return self.table.shape[1]
+
+    def __call__(self, token_ids: np.ndarray) -> np.ndarray:
+        token_ids = np.asarray(token_ids)
+        if token_ids.size and (token_ids.min() < 0
+                               or token_ids.max() >= self.vocab_size):
+            raise ShapeError(
+                f"{self.name}: token id out of range [0, {self.vocab_size})"
+            )
+        return self.table[token_ids]

@@ -1,0 +1,62 @@
+"""Rotary positional embeddings (RoPE).
+
+Implemented exactly as in LLaMA-family models: each head dimension pair
+``(2i, 2i+1)`` is rotated by an angle ``pos * base**(-2i/d)``.  The paper's
+implementation note (§4) lists ROPE among the operators they had to add to
+QNN; here it is a first-class substrate operator.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
+    """Inverse frequencies for each rotation pair, shape ``(head_dim // 2,)``."""
+    if head_dim % 2 != 0:
+        raise ShapeError(f"RoPE head_dim must be even, got {head_dim}")
+    exponents = np.arange(0, head_dim, 2, dtype=np.float64) / head_dim
+    return (base ** -exponents).astype(np.float32)
+
+
+def rope_angles(positions: np.ndarray, head_dim: int,
+                base: float = 10000.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Cos/sin tables for the given integer positions.
+
+    Returns two arrays shaped ``(len(positions), head_dim // 2)``.
+    """
+    freqs = rope_frequencies(head_dim, base)
+    theta = np.asarray(positions, dtype=np.float32)[:, None] * freqs[None, :]
+    return np.cos(theta), np.sin(theta)
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray,
+               base: float = 10000.0) -> np.ndarray:
+    """Rotate ``x`` shaped ``(seq, n_heads, head_dim)`` by token position.
+
+    ``positions`` carries the absolute position of every row, which is what
+    lets chunked prefill work: the k-th chunk passes positions
+    ``[k*C, k*C + 1, ...]`` and obtains identical rotations to a monolithic
+    prefill — an invariant the test suite checks.
+    """
+    if x.ndim != 3:
+        raise ShapeError(f"apply_rope expects (seq, heads, dim), got {x.shape}")
+    seq, _, head_dim = x.shape
+    positions = np.asarray(positions)
+    if positions.shape != (seq,):
+        raise ShapeError(
+            f"positions shape {positions.shape} must be ({seq},)"
+        )
+    cos, sin = rope_angles(positions, head_dim, base)
+    x_even = x[..., 0::2]
+    x_odd = x[..., 1::2]
+    cos = cos[:, None, :]
+    sin = sin[:, None, :]
+    out = np.empty_like(x)
+    out[..., 0::2] = x_even * cos - x_odd * sin
+    out[..., 1::2] = x_even * sin + x_odd * cos
+    return out

@@ -1,0 +1,83 @@
+"""Token samplers for the decode stage.
+
+The paper's prototype decodes on the MLLM CPU backend with greedy/standard
+sampling; generation quality is orthogonal to its contribution, so the
+substrate provides the common simple strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.layers import softmax
+
+
+def greedy(logits: np.ndarray) -> int:
+    """Argmax sampling."""
+    return int(np.argmax(logits))
+
+
+def top_k(logits: np.ndarray, k: int,
+          rng: Optional[np.random.Generator] = None,
+          temperature: float = 1.0) -> int:
+    """Sample from the renormalized top-k distribution."""
+    if k <= 0:
+        raise ModelError(f"top_k requires k >= 1, got {k}")
+    if temperature <= 0:
+        raise ModelError(f"temperature must be positive, got {temperature}")
+    rng = rng if rng is not None else np.random.default_rng()
+    k = min(k, logits.shape[-1])
+    top = np.argpartition(logits, -k)[-k:]
+    probs = softmax(logits[top] / temperature)
+    return int(rng.choice(top, p=probs))
+
+
+def top_p(logits: np.ndarray, p: float,
+          rng: Optional[np.random.Generator] = None,
+          temperature: float = 1.0) -> int:
+    """Nucleus sampling: smallest prefix of the sorted distribution with
+    cumulative probability >= ``p``."""
+    if not 0.0 < p <= 1.0:
+        raise ModelError(f"top_p requires 0 < p <= 1, got {p}")
+    if temperature <= 0:
+        raise ModelError(f"temperature must be positive, got {temperature}")
+    rng = rng if rng is not None else np.random.default_rng()
+    probs = softmax(logits / temperature)
+    order = np.argsort(probs)[::-1]
+    cumulative = np.cumsum(probs[order])
+    cutoff = int(np.searchsorted(cumulative, p)) + 1
+    kept = order[:cutoff]
+    kept_probs = probs[kept] / probs[kept].sum()
+    return int(rng.choice(kept, p=kept_probs))
+
+
+def generate(model, prompt_ids: np.ndarray, max_new_tokens: int,
+             chunk_len: Optional[int] = None,
+             eos_token: Optional[int] = None,
+             sampler=greedy) -> np.ndarray:
+    """Prefill (optionally chunked) then greedy/sampled decode.
+
+    Returns the generated token ids (excluding the prompt).
+    """
+    if max_new_tokens < 0:
+        raise ModelError("max_new_tokens must be non-negative")
+    cache = model.new_cache()
+    if chunk_len is None:
+        logits = model.prefill(np.asarray(prompt_ids), cache)
+    else:
+        logits = model.prefill_chunked(np.asarray(prompt_ids), chunk_len, cache)
+    out = []
+    if max_new_tokens == 0 or logits.shape[0] == 0:
+        return np.array(out, dtype=np.int64)
+    token = sampler(logits[-1])
+    out.append(token)
+    for _ in range(max_new_tokens - 1):
+        if eos_token is not None and token == eos_token:
+            break
+        logits_step = model.decode_step(token, cache)
+        token = sampler(logits_step)
+        out.append(token)
+    return np.array(out, dtype=np.int64)

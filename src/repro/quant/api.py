@@ -1,0 +1,225 @@
+"""Model-level quantization entry points.
+
+:func:`quantize_model` converts every transformer-block linear of a
+:class:`~repro.model.transformer.DecoderModel` to the requested scheme,
+using a calibration pass over a token corpus (the paper's offline
+preparation stage).  Attention, normalization, embeddings and the LM head
+stay float — exactly the operator split of Fig. 5 / Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.model.layers import Linear
+from repro.model.transformer import DecoderModel
+from repro.quant.awq import AwqLinear
+from repro.quant.base import QuantLinear
+from repro.quant.importance import PruningPlan, make_pruning_plan
+from repro.quant.llm_int8 import LlmInt8Linear
+from repro.quant.observers import CalibrationResult, calibrate
+from repro.quant.per_group import PerGroupLinear
+from repro.quant.per_tensor import PerTensorLinear
+from repro.quant.shadow import ShadowOutlierLinear
+from repro.quant.smoothquant import SmoothQuantLinear
+
+#: Scheme names accepted by :func:`quantize_model`.
+SCHEMES = (
+    "fp16",
+    "per-tensor",
+    "per-group",
+    "smoothquant",
+    "llm.int8",
+    "awq",
+    "llm.npu",
+)
+
+
+class Fp16Linear(QuantLinear):
+    """FP16 reference path: weights and activations round-tripped to half.
+
+    This is the paper's "FP16" baseline — not quantization, but also not
+    exact float32, so Table 6-style comparisons measure against what a real
+    device computes.
+    """
+
+    scheme = "fp16"
+
+    def __init__(self, weight: np.ndarray, bias=None, name: str = "fp16"):
+        super().__init__(weight.shape[1], weight.shape[0], bias, name)
+        self.weight = weight.astype(np.float16).astype(np.float32)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        xh = x.astype(np.float16).astype(np.float32)
+        self.stats.record_call(
+            rows=x.shape[0],
+            float_macs=x.shape[0] * self.in_features * self.out_features,
+        )
+        return xh @ self.weight.T
+
+    def weight_nbytes(self) -> int:
+        return self.weight.size * 2
+
+
+@dataclass
+class QuantizationReport:
+    """What :func:`quantize_model` did to a model."""
+
+    scheme: str
+    n_sites: int
+    weight_bytes: int
+    calibration: Optional[CalibrationResult] = None
+    pruning_plan: Optional[PruningPlan] = None
+    options: Dict = field(default_factory=dict)
+    sites: List[QuantLinear] = field(default_factory=list)
+
+    def shadow_sites(self) -> List[ShadowOutlierLinear]:
+        """The shadow-scheme sites, for runtime outlier inspection."""
+        return [s for s in self.sites if isinstance(s, ShadowOutlierLinear)]
+
+
+def _require_float_linear(op, layer: int, site: str) -> Linear:
+    if not isinstance(op, Linear):
+        raise QuantizationError(
+            f"layer {layer} site {site!r} is already quantized "
+            f"({type(op).__name__}); quantize a fresh model"
+        )
+    return op
+
+
+def auto_channel_percentile(width: int,
+                            outlier_channels_target: float = 0.005) -> float:
+    """Outlier-threshold percentile leaving ~max(2, target·width) channels out."""
+    excluded = max(2.0, outlier_channels_target * width)
+    return max(50.0, 100.0 * (1.0 - excluded / width))
+
+
+def _group_size_for(width: int, requested: int) -> int:
+    """Largest group size <= requested that divides ``width``."""
+    g = min(requested, width)
+    while width % g != 0:
+        g -= 1
+    return max(g, 1)
+
+
+def quantize_model(
+    model: DecoderModel,
+    scheme: str,
+    calibration: Optional[CalibrationResult] = None,
+    calib_corpus: Optional[Iterable[np.ndarray]] = None,
+    group_size: int = 32,
+    weight_bits: int = 8,
+    alpha: float = 0.5,
+    pruning_rate: float = 0.85,
+    hot_coverage: Optional[float] = 0.8,
+    outlier_threshold_sigma: float = 1.0,
+    channel_percentile: Optional[float] = None,
+    equalize_alpha: Optional[float] = 0.75,
+) -> QuantizationReport:
+    """Quantize ``model`` in place with the named ``scheme``.
+
+    Either pass an existing ``calibration`` result, or a ``calib_corpus``
+    of token-id sequences to profile (required for every scheme except
+    ``"fp16"``).
+
+    llm.npu-specific options: ``pruning_rate`` is the fraction of
+    least-important layers whose shadow execution is pruned (paper default
+    0.85); ``hot_coverage`` sets the hot-channel cache to cover that
+    fraction of outlier hits (``None`` disables the cache model and keeps
+    all float columns resident).
+
+    ``channel_percentile`` sets the calibration outlier threshold; the
+    default (``None``) auto-tunes it so roughly ``max(2, 0.5% of width)``
+    channels sit above the threshold, matching the paper's 0.1–0.3%
+    outlier-channel range on full-width models while staying meaningful on
+    narrow test models.  ``equalize_alpha`` controls the static
+    channel-equalization strength of the enhanced per-tensor quantizer
+    (``None`` disables it).
+    """
+    if scheme not in SCHEMES:
+        raise QuantizationError(
+            f"unknown scheme {scheme!r}; available: {SCHEMES}"
+        )
+
+    if scheme != "fp16" and calibration is None:
+        if calib_corpus is None:
+            raise QuantizationError(
+                f"scheme {scheme!r} needs calibration data"
+            )
+        if channel_percentile is None:
+            channel_percentile = auto_channel_percentile(
+                model.config.hidden_size
+            )
+        calibration = calibrate(model, calib_corpus,
+                                channel_percentile=channel_percentile)
+
+    plan = None
+    if scheme == "llm.npu":
+        plan = make_pruning_plan(calibration, pruning_rate)
+
+    new_sites: List[QuantLinear] = []
+    replacements = []
+    for layer, site, op in model.iter_linears():
+        lin = _require_float_linear(op, layer, site)
+        w, b = lin.weight, lin.bias
+        if scheme == "fp16":
+            qop: QuantLinear = Fp16Linear(w, b, name=lin.name)
+        else:
+            stats = calibration[(layer, site)]
+            if scheme == "per-tensor":
+                qop = PerTensorLinear(w, stats.naive_scale, b, name=lin.name)
+            elif scheme == "per-group":
+                g = _group_size_for(lin.in_features, group_size)
+                qop = PerGroupLinear(w, g, b, name=lin.name,
+                                     weight_bits=weight_bits)
+            elif scheme == "smoothquant":
+                qop = SmoothQuantLinear(
+                    w, stats.channel_absmax, stats.naive_scale,
+                    alpha=alpha, bias=b, name=lin.name,
+                )
+            elif scheme == "llm.int8":
+                threshold = outlier_threshold_sigma * 127.0 * stats.scale
+                qop = LlmInt8Linear(w, threshold, b, name=lin.name)
+            elif scheme == "awq":
+                g = _group_size_for(lin.in_features, group_size)
+                qop = AwqLinear(w, stats.channel_absmax, g,
+                                alpha=alpha, bias=b, name=lin.name)
+            else:  # llm.npu
+                hot = (None if hot_coverage is None
+                       else stats.hot_channels(hot_coverage))
+                equalize = None
+                if equalize_alpha is not None:
+                    ratio = stats.channel_absmax / max(stats.threshold, 1e-8)
+                    equalize = np.minimum(ratio, 1.0) ** equalize_alpha
+                qop = ShadowOutlierLinear(
+                    w, stats.scale,
+                    shadow_enabled=not plan.is_pruned(layer),
+                    hot_channels=hot, bias=b, name=lin.name,
+                    equalize=equalize,
+                )
+        replacements.append((layer, site, qop))
+        new_sites.append(qop)
+
+    for layer, site, qop in replacements:
+        model.replace_linear(layer, site, qop)
+
+    return QuantizationReport(
+        scheme=scheme,
+        n_sites=len(new_sites),
+        weight_bytes=sum(s.weight_nbytes() for s in new_sites),
+        calibration=calibration,
+        pruning_plan=plan,
+        options={
+            "group_size": group_size,
+            "weight_bits": weight_bits,
+            "alpha": alpha,
+            "pruning_rate": pruning_rate,
+            "hot_coverage": hot_coverage,
+            "equalize_alpha": equalize_alpha,
+        },
+        sites=new_sites,
+    )

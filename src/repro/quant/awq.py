@@ -1,0 +1,67 @@
+"""AWQ-style activation-aware weight-only quantization (Lin et al., 2023).
+
+AWQ protects *salient* weight channels — the ones multiplying large
+activations — by scaling them up before per-group weight quantization and
+compensating in the activation.  Activations stay float (Table 4: AWQ runs
+every MatMul in FP16), so accuracy is high; the cost is that the MatMul is
+a float operation, which mobile NPUs execute hundreds of times slower than
+INT8 (Table 3) — the reason llm.npu does not adopt it despite its accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.base import QuantLinear, QuantizedTensor, quantize_weight_per_group
+
+
+def awq_scales(channel_absmax: np.ndarray, alpha: float = 0.5) -> np.ndarray:
+    """Per-input-channel protection factors from calibration statistics.
+
+    Channels with larger typical activations get their weights scaled up
+    (quantized more precisely) and the activation scaled down to match.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise QuantizationError(f"alpha must be in [0, 1], got {alpha}")
+    act = np.maximum(np.asarray(channel_absmax, dtype=np.float64), 1e-8)
+    s = act ** alpha
+    s /= np.sqrt(s.max() * s.min())  # normalize around 1
+    return np.maximum(s, 1e-4).astype(np.float32)
+
+
+class AwqLinear(QuantLinear):
+    """Weight-only per-group quantized linear with float activations."""
+
+    scheme = "awq"
+
+    def __init__(self, weight: np.ndarray, channel_absmax: np.ndarray,
+                 group_size: int = 32, alpha: float = 0.5,
+                 bias: Optional[np.ndarray] = None, name: str = "awq"):
+        if weight.shape[1] % group_size != 0:
+            raise QuantizationError(
+                f"{name}: group_size {group_size} must divide "
+                f"in_features {weight.shape[1]}"
+            )
+        super().__init__(weight.shape[1], weight.shape[0], bias, name)
+        self.scales = awq_scales(channel_absmax, alpha)
+        scaled = weight * self.scales[None, :]
+        self.qweight: QuantizedTensor = quantize_weight_per_group(
+            scaled, group_size
+        )
+        # Dequantized-once weight with the scales folded back out, so the
+        # float MatMul uses exactly what the int codes can express.
+        self._w_eff = self.qweight.dequantize() / self.scales[None, :]
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        y = x @ self._w_eff.T
+        self.stats.record_call(
+            rows=x.shape[0],
+            float_macs=x.shape[0] * self.in_features * self.out_features,
+        )
+        return y
+
+    def weight_nbytes(self) -> int:
+        return self.qweight.nbytes() + self.scales.nbytes

@@ -1,0 +1,219 @@
+"""Quantization primitives shared by every scheme.
+
+All schemes here are **symmetric int8** (the format mobile NPUs accelerate,
+§2.2): a float tensor ``x`` is represented as ``q * scale`` with
+``q ∈ [-127, 127]``.  Weight quantization happens offline; activation
+quantization follows each scheme's policy (static per-tensor for the
+NPU-resident schemes, dynamic for the CPU schemes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+#: Largest representable int8 magnitude used for symmetric quantization.
+INT8_MAX = 127
+
+
+def symmetric_scale(absmax: float, qmax: int = INT8_MAX) -> float:
+    """Scale factor mapping ``[-absmax, absmax]`` onto ``[-qmax, qmax]``.
+
+    A zero ``absmax`` (all-zero tensor) returns 1.0 so division is safe.
+    """
+    if absmax < 0:
+        raise QuantizationError(f"absmax must be non-negative, got {absmax}")
+    if absmax == 0.0:
+        return 1.0
+    return float(absmax) / qmax
+
+
+def quantize_int8(x: np.ndarray, scale, qmax: int = INT8_MAX) -> np.ndarray:
+    """Round-to-nearest symmetric quantization to int8 codes.
+
+    ``scale`` may be a scalar or an array broadcastable against ``x``
+    (per-channel / per-group quantization).  Zero scales (degenerate
+    all-zero tensors) are treated as 1.0 so the codes come out zero
+    instead of NaN.
+    """
+    scale = np.asarray(scale, dtype=np.float64)
+    safe_scale = np.where(scale == 0.0, 1.0, scale)
+    q = np.rint(x / safe_scale)
+    return np.clip(q, -qmax, qmax).astype(np.int8)
+
+
+def dequantize(q: np.ndarray, scale) -> np.ndarray:
+    """Map int codes back to float: ``q * scale``."""
+    return q.astype(np.float32) * np.asarray(scale, dtype=np.float32)
+
+
+def quantize_dequantize(x: np.ndarray, scale,
+                        qmax: int = INT8_MAX) -> np.ndarray:
+    """Fake-quantize: the float values the int8 representation can express."""
+    return dequantize(quantize_int8(x, scale, qmax), scale)
+
+
+@dataclass
+class QuantizedTensor:
+    """A low-bit integer tensor with its quantization metadata.
+
+    ``scale`` is scalar for per-tensor quantization, shape ``(out,)`` for
+    per-output-channel, or shape ``(out, n_groups)`` for per-group along the
+    input dimension (``group_size`` columns share a scale).  ``bits`` is
+    the storage width (8 or 4 — K-Quant/AWQ checkpoints are 4-bit); 4-bit
+    codes are held unpacked in an int8 array but accounted at their packed
+    size by :meth:`nbytes`.
+    """
+
+    data: np.ndarray
+    scale: np.ndarray
+    group_size: Optional[int] = None
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.data.dtype != np.int8:
+            raise QuantizationError(
+                f"QuantizedTensor data must be int8, got {self.data.dtype}"
+            )
+        if self.bits not in (4, 8):
+            raise QuantizationError(f"bits must be 4 or 8, got {self.bits}")
+        self.scale = np.asarray(self.scale, dtype=np.float32)
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def n_groups(self) -> int:
+        """Number of input-dimension groups (1 unless per-group)."""
+        if self.group_size is None:
+            return 1
+        return self.data.shape[-1] // self.group_size
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the float tensor."""
+        if self.group_size is None:
+            if self.scale.ndim == 0:
+                return dequantize(self.data, self.scale)
+            # per-output-channel: scale shape (out,)
+            return dequantize(self.data, self.scale[:, None])
+        out, k = self.data.shape
+        g = self.group_size
+        data = self.data.reshape(out, k // g, g).astype(np.float32)
+        return (data * self.scale[:, :, None]).reshape(out, k)
+
+    def nbytes(self) -> int:
+        """Storage footprint: packed integer payload + float32 scales."""
+        payload = self.data.size * self.bits // 8
+        return int(payload + self.scale.nbytes)
+
+
+def qmax_for_bits(bits: int) -> int:
+    """Largest symmetric code magnitude for a bit width (127 or 7)."""
+    if bits == 8:
+        return INT8_MAX
+    if bits == 4:
+        return 7
+    raise QuantizationError(f"bits must be 4 or 8, got {bits}")
+
+
+def quantize_weight_per_tensor(w: np.ndarray) -> QuantizedTensor:
+    """Whole-tensor symmetric weight quantization (Fig. 3a)."""
+    scale = symmetric_scale(float(np.abs(w).max()))
+    return QuantizedTensor(quantize_int8(w, scale), np.float32(scale))
+
+
+def quantize_weight_per_channel(w: np.ndarray) -> QuantizedTensor:
+    """Per-output-row symmetric weight quantization."""
+    absmax = np.abs(w).max(axis=1)
+    scale = np.where(absmax == 0, 1.0, absmax / INT8_MAX).astype(np.float32)
+    return QuantizedTensor(quantize_int8(w, scale[:, None]), scale)
+
+
+def quantize_weight_per_group(w: np.ndarray, group_size: int,
+                              bits: int = 8) -> QuantizedTensor:
+    """Per-group quantization along the input dimension (Fig. 3b).
+
+    This is the layout K-Quant/AWQ use (usually at ``bits=4`` in shipped
+    checkpoints); on mobile NPUs it forces the MatMul to be split into
+    ``n_groups`` sub-MatMuls plus a float reduction, which is the
+    8.1–10.7× penalty the paper measures (Fig. 4).
+    """
+    out, k = w.shape
+    if group_size <= 0 or k % group_size != 0:
+        raise QuantizationError(
+            f"group_size {group_size} must divide in_features {k}"
+        )
+    qmax = qmax_for_bits(bits)
+    grouped = w.reshape(out, k // group_size, group_size)
+    absmax = np.abs(grouped).max(axis=2)
+    scale = np.where(absmax == 0, 1.0, absmax / qmax).astype(np.float32)
+    q = quantize_int8(grouped, scale[:, :, None], qmax=qmax).reshape(out, k)
+    return QuantizedTensor(q, scale, group_size=group_size, bits=bits)
+
+
+@dataclass
+class QuantLinearStats:
+    """Counters every quantized linear accumulates while running."""
+
+    calls: int = 0
+    rows: int = 0
+    int8_macs: int = 0
+    float_macs: int = 0
+    outlier_channel_counts: list = field(default_factory=list)
+
+    def record_call(self, rows: int, int8_macs: int = 0,
+                    float_macs: int = 0,
+                    outlier_channels: Optional[int] = None) -> None:
+        self.calls += 1
+        self.rows += rows
+        self.int8_macs += int8_macs
+        self.float_macs += float_macs
+        if outlier_channels is not None:
+            self.outlier_channel_counts.append(outlier_channels)
+
+
+class QuantLinear:
+    """Base class for quantized linear operators.
+
+    Subclasses implement :meth:`_forward`; the base class handles shape
+    validation, bias, and statistics.  Instances are drop-in replacements
+    for :class:`repro.model.layers.Linear` via ``DecoderModel.replace_linear``.
+    """
+
+    #: Human-readable scheme name, overridden by subclasses.
+    scheme = "base"
+
+    def __init__(self, in_features: int, out_features: int,
+                 bias: Optional[np.ndarray] = None, name: str = "qlinear"):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.bias = None if bias is None else bias.astype(np.float32)
+        self.name = name
+        self.stats = QuantLinearStats()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise QuantizationError(
+                f"{self.name}: input width {x.shape[-1]} != "
+                f"in_features {self.in_features}"
+            )
+        y = self._forward(np.asarray(x, dtype=np.float32))
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def weight_nbytes(self) -> int:
+        """Quantized weight storage in bytes (scheme-specific)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}({self.name}: "
+                f"{self.in_features}->{self.out_features})")

@@ -1,0 +1,94 @@
+"""Outlier importance scoring and layer-level pruning (§3.3, Fig. 12).
+
+The importance of a layer's outliers is the ratio between its largest
+outlier and its quantization scale ``s``: a larger ratio means a more
+dispersed activation distribution and a larger error if the outlier is
+clamped without compensation.  llm.npu profiles this offline and prunes the
+shadow execution of the top-85% *least* important layers, eliminating their
+CPU↔NPU synchronization.
+
+The paper observes (and the synthetic models reproduce via their U-shaped
+depth profile) that layers near the input and output are the most
+important: early layers see raw token disparity; late layers accumulate
+error from everything below them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.observers import CalibrationResult
+
+
+@dataclass(frozen=True)
+class PruningPlan:
+    """Which layers keep shadow execution and which are pruned."""
+
+    pruning_rate: float
+    kept_layers: frozenset
+    pruned_layers: frozenset
+    importance: Dict[int, float]
+
+    def is_pruned(self, layer: int) -> bool:
+        return layer in self.pruned_layers
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.kept_layers) + len(self.pruned_layers)
+
+
+def rank_layers_by_importance(calib: CalibrationResult) -> List[int]:
+    """Layers sorted from *least* to *most* important."""
+    importance = calib.layer_importance()
+    return sorted(importance, key=lambda layer: importance[layer])
+
+
+def make_pruning_plan(calib: CalibrationResult,
+                      pruning_rate: float = 0.85) -> PruningPlan:
+    """Prune the ``pruning_rate`` fraction of least-important layers.
+
+    ``pruning_rate=0`` keeps shadow execution everywhere (max accuracy,
+    max sync overhead); ``1.0`` prunes everything (the fastest, least
+    accurate end of Fig. 16).
+    """
+    if not 0.0 <= pruning_rate <= 1.0:
+        raise QuantizationError(
+            f"pruning_rate must be in [0, 1], got {pruning_rate}"
+        )
+    importance = calib.layer_importance()
+    ranked = rank_layers_by_importance(calib)
+    n_pruned = int(round(len(ranked) * pruning_rate))
+    pruned = frozenset(ranked[:n_pruned])
+    kept = frozenset(ranked[n_pruned:])
+    return PruningPlan(pruning_rate, kept, pruned, importance)
+
+
+def importance_profile(calib: CalibrationResult) -> np.ndarray:
+    """Per-layer importance as an array indexed by layer (Fig. 12 left)."""
+    importance = calib.layer_importance()
+    n_layers = max(importance) + 1
+    out = np.zeros(n_layers, dtype=np.float64)
+    for layer, value in importance.items():
+        out[layer] = value
+    return out
+
+
+def u_shape_score(profile: np.ndarray) -> float:
+    """How U-shaped an importance profile is.
+
+    Positive when the ends exceed the middle (the paper's observation);
+    used by tests and the Fig. 12 bench to verify the reproduction.
+    """
+    n = len(profile)
+    if n < 4:
+        return 0.0
+    edge = max(2, n // 4)
+    ends = np.concatenate([profile[:edge], profile[-edge:]])
+    middle = profile[edge:-edge]
+    if middle.size == 0:
+        return 0.0
+    return float(ends.mean() - middle.mean())

@@ -1,0 +1,160 @@
+"""Quantized checkpoint serialization.
+
+The paper's artifact flow quantizes on a server and ships the quantized
+model to the device (§A.5: the accuracy stage "generate[s] the quantized
+model necessary for on-device inference").  This module mirrors that:
+:func:`save_quantized` writes every quantized linear's codes, scales and
+scheme metadata to ``.npz``; :func:`load_quantized` re-attaches them to a
+freshly built float model without re-running calibration.
+
+Supported schemes: ``llm.npu`` (shadow), ``per-tensor`` and ``per-group``
+— the ones whose operators are fully determined by their stored tensors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.model.transformer import DecoderModel
+from repro.quant.base import QuantizedTensor
+from repro.quant.per_group import PerGroupLinear
+from repro.quant.per_tensor import PerTensorLinear
+from repro.quant.shadow import ShadowOutlierLinear
+
+#: Checkpoint format version.
+QFORMAT_VERSION = 1
+
+_SAVABLE = (ShadowOutlierLinear, PerTensorLinear, PerGroupLinear)
+
+
+def _site_prefix(layer: int, site: str) -> str:
+    return f"q.{layer}.{site}"
+
+
+def save_quantized(model: DecoderModel, path: str) -> None:
+    """Write the quantized linears of ``model`` to ``path`` (``.npz``)."""
+    arrays: Dict[str, np.ndarray] = {}
+    meta: Dict[str, dict] = {}
+    for layer, site, op in model.iter_linears():
+        if not isinstance(op, _SAVABLE):
+            raise QuantizationError(
+                f"layer {layer} site {site!r}: scheme "
+                f"{type(op).__name__} is not serializable "
+                "(supported: llm.npu / per-tensor / per-group)"
+            )
+        prefix = _site_prefix(layer, site)
+        arrays[f"{prefix}.codes"] = op.qweight.data
+        arrays[f"{prefix}.scale"] = np.asarray(op.qweight.scale)
+        if op.bias is not None:
+            arrays[f"{prefix}.bias"] = op.bias
+        entry: dict = {"scheme": op.scheme}
+        if isinstance(op, ShadowOutlierLinear):
+            entry.update(
+                act_scale=op.act_scale,
+                shadow_enabled=op.shadow_enabled,
+                per_channel_weights=op.per_channel_weights,
+            )
+            arrays[f"{prefix}.float_weight"] = op.float_weight
+            if op.equalize is not None:
+                arrays[f"{prefix}.equalize"] = op.equalize
+            if op.hot_channel_set is not None:
+                arrays[f"{prefix}.hot"] = np.array(
+                    sorted(op.hot_channel_set), dtype=np.int64
+                )
+        elif isinstance(op, PerTensorLinear):
+            entry.update(act_scale=op.act_scale)
+        elif isinstance(op, PerGroupLinear):
+            entry.update(group_size=op.group_size,
+                         weight_bits=op.weight_bits)
+        meta[prefix] = entry
+
+    header = {"format_version": QFORMAT_VERSION, "sites": meta}
+    arrays["__qmeta__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def _rebuild(prefix: str, entry: dict, arrays) -> object:
+    codes = arrays[f"{prefix}.codes"]
+    scale = arrays[f"{prefix}.scale"]
+    bias_key = f"{prefix}.bias"
+    bias = arrays[bias_key] if bias_key in arrays else None
+    scheme = entry["scheme"]
+
+    if scheme == "llm.npu-shadow":
+        float_weight = arrays[f"{prefix}.float_weight"]
+        eq_key = f"{prefix}.equalize"
+        hot_key = f"{prefix}.hot"
+        op = ShadowOutlierLinear.__new__(ShadowOutlierLinear)
+        # Rebuild through __init__ on the float weights, then overwrite
+        # the quantized payload with the stored codes for bit-exactness.
+        op.__init__(
+            float_weight if eq_key not in arrays
+            else float_weight / arrays[eq_key][None, :],
+            act_scale=entry["act_scale"],
+            shadow_enabled=entry["shadow_enabled"],
+            hot_channels=arrays[hot_key] if hot_key in arrays else None,
+            bias=bias,
+            name=prefix,
+            per_channel_weights=entry["per_channel_weights"],
+            equalize=arrays[eq_key] if eq_key in arrays else None,
+        )
+        op.qweight = QuantizedTensor(codes, scale)
+        op.float_weight = float_weight.astype(np.float32)
+        return op
+    if scheme == "per-tensor":
+        op = PerTensorLinear(np.zeros_like(codes, dtype=np.float32),
+                             entry["act_scale"], bias, name=prefix)
+        op.qweight = QuantizedTensor(codes, scale)
+        return op
+    if scheme == "per-group":
+        op = PerGroupLinear(np.zeros_like(codes, dtype=np.float32),
+                            entry["group_size"], bias, name=prefix,
+                            weight_bits=entry["weight_bits"])
+        op.qweight = QuantizedTensor(codes, scale,
+                                     group_size=entry["group_size"],
+                                     bits=entry["weight_bits"])
+        return op
+    raise QuantizationError(f"unknown serialized scheme {scheme!r}")
+
+
+def load_quantized(model: DecoderModel, path: str) -> List[Tuple[int, str]]:
+    """Attach the quantized linears stored at ``path`` to ``model``.
+
+    ``model`` must be a float model with matching architecture (its float
+    weights are discarded in favour of the checkpoint).  Returns the list
+    of (layer, site) pairs replaced.
+    """
+    with np.load(path) as arrays:
+        if "__qmeta__" not in arrays:
+            raise QuantizationError(
+                f"{path}: not a quantized checkpoint"
+            )
+        header = json.loads(bytes(arrays["__qmeta__"]).decode("utf-8"))
+        if header.get("format_version") != QFORMAT_VERSION:
+            raise QuantizationError(
+                f"{path}: unsupported version "
+                f"{header.get('format_version')!r}"
+            )
+        replaced = []
+        expected = {
+            _site_prefix(layer, site): (layer, site)
+            for layer, site, _op in model.iter_linears()
+        }
+        sites = header["sites"]
+        if set(sites) != set(expected):
+            raise QuantizationError(
+                f"{path}: checkpoint sites do not match the model "
+                f"architecture ({len(sites)} vs {len(expected)})"
+            )
+        for prefix, entry in sites.items():
+            layer, site = expected[prefix]
+            op = _rebuild(prefix, entry, arrays)
+            model.replace_linear(layer, site, op)
+            replaced.append((layer, site))
+    return replaced

@@ -1,0 +1,79 @@
+"""LLM.int8() (Dettmers et al., NeurIPS'22) — mixed-precision decomposition.
+
+Activation columns whose magnitude exceeds a threshold are pulled out and
+multiplied against the corresponding *float* weight columns; the rest run
+as int8 with per-row (vector-wise) dynamic activation scales.  Accuracy is
+essentially FP16 (Table 6 "Int8()" column), but the dynamic outlier-column
+detection and float path make it a CPU/GPU technique — it cannot live
+inside a static NPU graph, which is the gap llm.npu's shadow execution
+closes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.base import (
+    INT8_MAX,
+    QuantLinear,
+    QuantizedTensor,
+    quantize_int8,
+    quantize_weight_per_channel,
+)
+
+
+class LlmInt8Linear(QuantLinear):
+    """Mixed int8 / float decomposition linear.
+
+    ``outlier_threshold`` is the absolute activation magnitude above which a
+    column is treated in float for that call (6.0 in the original paper;
+    configurable here because synthetic models have different ranges).
+    """
+
+    scheme = "llm.int8"
+
+    def __init__(self, weight: np.ndarray, outlier_threshold: float = 6.0,
+                 bias: Optional[np.ndarray] = None, name: str = "int8"):
+        super().__init__(weight.shape[1], weight.shape[0], bias, name)
+        self.outlier_threshold = float(outlier_threshold)
+        self.qweight: QuantizedTensor = quantize_weight_per_channel(weight)
+        # Float weights kept around for the outlier columns (the 2x memory
+        # issue §3.3 discusses; llm.npu's hot-channel cache reduces it).
+        self.float_weight = weight.astype(np.float32)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        rows = x.shape[0]
+        col_max = np.abs(x).max(axis=0)
+        outlier_cols = np.flatnonzero(col_max > self.outlier_threshold)
+
+        x_regular = x.copy()
+        if outlier_cols.size:
+            x_regular[:, outlier_cols] = 0.0
+
+        # Vector-wise (per-row) dynamic activation quantization.
+        row_absmax = np.abs(x_regular).max(axis=1)
+        a_scale = np.where(row_absmax == 0, 1.0, row_absmax / INT8_MAX)
+        xq = quantize_int8(x_regular, a_scale[:, None])
+        acc = xq.astype(np.int32) @ self.qweight.data.astype(np.int32).T
+        y = acc.astype(np.float32) * (
+            a_scale[:, None] * self.qweight.scale[None, :]
+        )
+
+        float_macs = 0
+        if outlier_cols.size:
+            y = y + x[:, outlier_cols] @ self.float_weight[:, outlier_cols].T
+            float_macs = rows * int(outlier_cols.size) * self.out_features
+
+        self.stats.record_call(
+            rows=rows,
+            int8_macs=rows * self.in_features * self.out_features,
+            float_macs=float_macs,
+            outlier_channels=int(outlier_cols.size),
+        )
+        return y
+
+    def weight_nbytes(self) -> int:
+        # int8 weights plus the float copy for outlier columns.
+        return self.qweight.nbytes() + self.float_weight.nbytes

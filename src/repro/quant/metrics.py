@@ -1,0 +1,110 @@
+"""Error metrics for comparing quantized models against the float reference."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.model.layers import softmax
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        raise QuantizationError(f"shape mismatch {a.shape} vs {b.shape}")
+    return float(np.mean((a - b) ** 2))
+
+
+def sqnr_db(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB (higher is better)."""
+    reference, quantized = np.asarray(reference), np.asarray(quantized)
+    if reference.shape != quantized.shape:
+        raise QuantizationError(
+            f"shape mismatch {reference.shape} vs {quantized.shape}"
+        )
+    noise = np.mean((reference - quantized) ** 2)
+    signal = np.mean(reference ** 2)
+    if noise == 0:
+        return float("inf")
+    if signal == 0:
+        return float("-inf")
+    return float(10.0 * np.log10(signal / noise))
+
+
+def kl_divergence(reference_logits: np.ndarray,
+                  quantized_logits: np.ndarray) -> float:
+    """Mean per-row KL(softmax(ref) || softmax(quant)) — distribution drift."""
+    p = softmax(np.asarray(reference_logits, dtype=np.float64))
+    q = softmax(np.asarray(quantized_logits, dtype=np.float64))
+    if p.shape != q.shape:
+        raise QuantizationError(f"shape mismatch {p.shape} vs {q.shape}")
+    eps = 1e-12
+    kl = np.sum(p * (np.log(p + eps) - np.log(q + eps)), axis=-1)
+    return float(np.mean(kl))
+
+
+def top1_agreement(reference_logits: np.ndarray,
+                   quantized_logits: np.ndarray) -> float:
+    """Fraction of rows where both models pick the same argmax token.
+
+    This is the paper's accuracy quantity in substitute form: how faithful
+    the quantized model is to the full-precision one (FP16 scores ~1.0 by
+    construction; degradation below 1.0 mirrors Table 6's "Degrad." column).
+    """
+    ref = np.asarray(reference_logits)
+    qnt = np.asarray(quantized_logits)
+    if ref.shape != qnt.shape:
+        raise QuantizationError(f"shape mismatch {ref.shape} vs {qnt.shape}")
+    if ref.ndim == 1:
+        ref, qnt = ref[None, :], qnt[None, :]
+    return float(np.mean(np.argmax(ref, -1) == np.argmax(qnt, -1)))
+
+
+def teacher_cross_entropy(reference_logits: np.ndarray,
+                          quantized_logits: np.ndarray) -> float:
+    """Mean cross-entropy of the quantized model against the teacher's
+    argmax tokens — the perplexity-style counterpart of
+    :func:`top1_agreement` (lower is better).
+
+    Where top-1 agreement only sees rank flips, this metric also registers
+    *confidence* erosion: a quantized model that still ranks the teacher
+    token first but with a shrunken margin scores measurably worse.
+    """
+    ref = np.asarray(reference_logits, dtype=np.float64)
+    qnt = np.asarray(quantized_logits, dtype=np.float64)
+    if ref.shape != qnt.shape:
+        raise QuantizationError(f"shape mismatch {ref.shape} vs {qnt.shape}")
+    if ref.ndim == 1:
+        ref, qnt = ref[None, :], qnt[None, :]
+    targets = np.argmax(ref, axis=-1)
+    log_probs = qnt - np.log(
+        np.sum(np.exp(qnt - qnt.max(axis=-1, keepdims=True)), axis=-1,
+               keepdims=True)
+    ) - qnt.max(axis=-1, keepdims=True)
+    nll = -log_probs[np.arange(len(targets)), targets]
+    return float(np.mean(nll))
+
+
+def pseudo_perplexity(reference_logits: np.ndarray,
+                      quantized_logits: np.ndarray) -> float:
+    """``exp(teacher_cross_entropy)`` — a perplexity-scaled fidelity score."""
+    return float(np.exp(teacher_cross_entropy(reference_logits,
+                                              quantized_logits)))
+
+
+def topk_agreement(reference_logits: np.ndarray,
+                   quantized_logits: np.ndarray, k: int = 5) -> float:
+    """Fraction of rows where the reference argmax is in the quantized top-k."""
+    ref = np.asarray(reference_logits)
+    qnt = np.asarray(quantized_logits)
+    if ref.shape != qnt.shape:
+        raise QuantizationError(f"shape mismatch {ref.shape} vs {qnt.shape}")
+    if ref.ndim == 1:
+        ref, qnt = ref[None, :], qnt[None, :]
+    if k <= 0:
+        raise QuantizationError(f"k must be positive, got {k}")
+    ref_top = np.argmax(ref, -1)
+    qnt_topk = np.argpartition(qnt, -k, axis=-1)[:, -k:]
+    hits = (qnt_topk == ref_top[:, None]).any(axis=-1)
+    return float(np.mean(hits))

@@ -1,0 +1,228 @@
+"""Calibration observers: the offline profiling stage of llm.npu (§3.3).
+
+The paper determines each linear site's quantization scale and outlier
+threshold "by profiling a large corpora at offline" time.  An
+:class:`ActivationObserver` hooks into :meth:`DecoderModel.prefill` and
+records per-call, per-channel absolute maxima; :meth:`result` then derives,
+per (layer, site):
+
+* the **outlier threshold** — a percentile of the per-channel absmax
+  distribution.  Activation outliers in LLMs are a *channel* phenomenon
+  (Figs. 10–11): a few channels carry values far beyond everyone else, so
+  the per-tensor scale must cover the well-behaved channels and leave the
+  outlier channels to the shadow path;
+* per-channel outlier hit counts (the data behind Fig. 11 and the
+  hot-channel cache);
+* the largest-outlier/threshold ratio — outlier *importance* (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+#: Key identifying one linear site: (layer_index, site_name).
+SiteKey = Tuple[int, str]
+
+
+@dataclass
+class SiteStats:
+    """Derived activation statistics for one linear site."""
+
+    width: int
+    absmax: float
+    threshold: float
+    channel_absmax: np.ndarray
+    channel_outlier_hits: np.ndarray
+    outlier_channels_per_call: List[int]
+    calls: int
+    rows: int
+
+    @property
+    def scale(self) -> float:
+        """Per-tensor activation scale: the outlier threshold over 127.
+
+        Values beyond ``threshold`` are *outliers* in the paper's sense and
+        are clamped on the NPU / compensated on the CPU (Eq. 1).
+        """
+        return max(self.threshold, 1e-8) / 127.0
+
+    @property
+    def naive_scale(self) -> float:
+        """Per-tensor scale from the raw absmax (no outlier separation).
+
+        This is what naive per-tensor quantization must use: the scale is
+        stretched by the largest outlier and ordinary values lose precision.
+        """
+        return max(self.absmax, 1e-8) / 127.0
+
+    @property
+    def importance(self) -> float:
+        """Outlier importance: largest outlier over the outlier threshold.
+
+        §3.3 / Fig. 12 — a larger ratio means a more dispersed activation
+        distribution and a larger error if outliers are clamped without the
+        shadow compensation.
+        """
+        return self.absmax / max(self.threshold, 1e-8)
+
+    def mean_outlier_channels(self) -> float:
+        """Average count of outlier channels per inference (Fig. 10)."""
+        if not self.outlier_channels_per_call:
+            return 0.0
+        return float(np.mean(self.outlier_channels_per_call))
+
+    def outlier_channel_fraction(self) -> float:
+        """Mean per-call outlier channels as a fraction of the width."""
+        return self.mean_outlier_channels() / self.width
+
+    def hot_channels(self, coverage: float = 0.8) -> np.ndarray:
+        """Smallest channel set covering ``coverage`` of outlier hits (Fig. 11).
+
+        Returns channel indices sorted by descending hit count.
+        """
+        if not 0.0 < coverage <= 1.0:
+            raise CalibrationError(
+                f"coverage must be in (0, 1], got {coverage}"
+            )
+        hits = self.channel_outlier_hits
+        total = hits.sum()
+        if total == 0:
+            return np.array([], dtype=np.int64)
+        order = np.argsort(hits)[::-1]
+        cum = np.cumsum(hits[order])
+        count = int(np.searchsorted(cum, coverage * total)) + 1
+        return order[:count]
+
+    def hot_channel_fraction(self, coverage: float = 0.8) -> float:
+        """Fraction of channels needed to cover ``coverage`` of outliers."""
+        return self.hot_channels(coverage).size / self.width
+
+
+@dataclass
+class _RawSite:
+    """Accumulating (pre-finalize) record for one site."""
+
+    width: int
+    call_channel_max: List[np.ndarray] = field(default_factory=list)
+    rows: int = 0
+
+
+class ActivationObserver:
+    """Records activation statistics for every linear site during prefill.
+
+    Use as a hook::
+
+        observer = ActivationObserver(channel_percentile=99.5)
+        model.prefill(ids, hook=observer)
+        calib = observer.result()
+
+    ``channel_percentile`` sets the outlier threshold: the percentile of
+    each site's per-channel absmax distribution.  99.5 means "the ~0.5%
+    loudest channels are outlier channels" — tune downward for narrow
+    models where a single channel is a large fraction of the width.
+    """
+
+    def __init__(self, channel_percentile: float = 99.5):
+        if not 0.0 < channel_percentile <= 100.0:
+            raise CalibrationError(
+                f"channel_percentile must be in (0, 100], "
+                f"got {channel_percentile}"
+            )
+        self.channel_percentile = channel_percentile
+        self._sites: Dict[SiteKey, _RawSite] = {}
+
+    def __call__(self, layer: int, site: str, x: np.ndarray) -> None:
+        key = (layer, site)
+        raw = self._sites.get(key)
+        if raw is None:
+            raw = _RawSite(width=x.shape[-1])
+            self._sites[key] = raw
+        if x.size == 0:
+            return
+        raw.call_channel_max.append(np.abs(x).max(axis=0))
+        raw.rows += x.shape[0]
+
+    def result(self) -> "CalibrationResult":
+        if not self._sites:
+            raise CalibrationError(
+                "observer saw no activations; run prefill with hook=observer"
+            )
+        sites: Dict[SiteKey, SiteStats] = {}
+        for key, raw in self._sites.items():
+            if not raw.call_channel_max:
+                raise CalibrationError(f"site {key} saw only empty inputs")
+            per_call = np.stack(raw.call_channel_max)  # (calls, width)
+            channel_absmax = per_call.max(axis=0)
+            absmax = float(channel_absmax.max())
+            threshold = float(
+                np.percentile(channel_absmax, self.channel_percentile)
+            )
+            outlier_mask = per_call > max(threshold, 1e-12)
+            sites[key] = SiteStats(
+                width=raw.width,
+                absmax=absmax,
+                threshold=threshold,
+                channel_absmax=channel_absmax.astype(np.float32),
+                channel_outlier_hits=outlier_mask.sum(axis=0).astype(np.int64),
+                outlier_channels_per_call=[
+                    int(c) for c in outlier_mask.sum(axis=1)
+                ],
+                calls=per_call.shape[0],
+                rows=raw.rows,
+            )
+        return CalibrationResult(sites, self.channel_percentile)
+
+
+@dataclass
+class CalibrationResult:
+    """Frozen outcome of a calibration pass."""
+
+    sites: Dict[SiteKey, SiteStats]
+    channel_percentile: float
+
+    def __getitem__(self, key: SiteKey) -> SiteStats:
+        try:
+            return self.sites[key]
+        except KeyError:
+            raise CalibrationError(
+                f"no calibration data for site {key}"
+            ) from None
+
+    def __contains__(self, key: SiteKey) -> bool:
+        return key in self.sites
+
+    def keys(self) -> Iterable[SiteKey]:
+        return self.sites.keys()
+
+    def layer_importance(self) -> Dict[int, float]:
+        """Per-layer outlier importance: max over the layer's sites (Fig. 12)."""
+        out: Dict[int, float] = {}
+        for (layer, _site), stats in self.sites.items():
+            out[layer] = max(out.get(layer, 0.0), stats.importance)
+        return out
+
+    def site_importance(self) -> Dict[SiteKey, float]:
+        """Per-site outlier importance."""
+        return {key: stats.importance for key, stats in self.sites.items()}
+
+
+def calibrate(model, corpus: Iterable[np.ndarray],
+              channel_percentile: float = 99.5) -> CalibrationResult:
+    """Run the model over calibration sequences and collect statistics.
+
+    ``corpus`` yields 1-D token-id arrays; each is prefilled through a fresh
+    KV cache, mirroring the paper's offline corpus profiling.
+    """
+    observer = ActivationObserver(channel_percentile)
+    count = 0
+    for ids in corpus:
+        model.prefill(np.asarray(ids), hook=observer)
+        count += 1
+    if count == 0:
+        raise CalibrationError("calibration corpus is empty")
+    return observer.result()

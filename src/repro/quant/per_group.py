@@ -1,0 +1,83 @@
+"""Per-group W8A8 quantization in the style of llama.cpp's K-Quant (Fig. 3b).
+
+Weights carry one scale per ``group_size`` input columns; activations are
+quantized dynamically per row-group at runtime (a luxury CPU kernels have
+but pre-built NPU graphs do not).  Accuracy is much better than naive
+per-tensor because an outlier only corrupts its own group — but on a mobile
+NPU this layout must be decomposed into ``n_groups`` sub-MatMuls reduced
+with float adds, the 8.1–10.7× overhead of the paper's Fig. 4.  The
+simulator charges that penalty via :mod:`repro.hw.latency`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.base import (
+    INT8_MAX,
+    QuantLinear,
+    QuantizedTensor,
+    quantize_int8,
+    quantize_weight_per_group,
+)
+
+
+class PerGroupLinear(QuantLinear):
+    """Per-group linear with dynamic per-group activation scales.
+
+    ``weight_bits`` selects the weight storage width: 8 (W8A8) or 4
+    (W4A8, the layout llama.cpp's shipped K-Quant checkpoints use).
+    Activations are always dynamic int8.
+    """
+
+    scheme = "per-group"
+
+    def __init__(self, weight: np.ndarray, group_size: int = 32,
+                 bias: Optional[np.ndarray] = None, name: str = "pg",
+                 weight_bits: int = 8):
+        if weight.shape[1] % group_size != 0:
+            raise QuantizationError(
+                f"{name}: group_size {group_size} must divide "
+                f"in_features {weight.shape[1]}"
+            )
+        super().__init__(weight.shape[1], weight.shape[0], bias, name)
+        self.group_size = group_size
+        self.weight_bits = weight_bits
+        self.qweight: QuantizedTensor = quantize_weight_per_group(
+            weight, group_size, bits=weight_bits
+        )
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        rows, k = x.shape
+        g = self.group_size
+        n_groups = k // g
+
+        # Dynamic activation quantization: one scale per (row, group).
+        xg = x.reshape(rows, n_groups, g)
+        absmax = np.abs(xg).max(axis=2)
+        a_scale = np.where(absmax == 0, 1.0, absmax / INT8_MAX)
+        xq = quantize_int8(xg, a_scale[:, :, None])
+
+        # Per-group sub-MatMuls with int32 accumulation, then a float
+        # reduction across groups — the structure that hurts NPUs.
+        wq = self.qweight.data.reshape(self.out_features, n_groups, g)
+        # (rows, groups, out) partial products
+        partial = np.einsum(
+            "rgi,ogi->rgo", xq.astype(np.int32), wq.astype(np.int32)
+        ).astype(np.float32)
+        partial *= a_scale[:, :, None] * self.qweight.scale.T[None, :, :]
+        y = partial.sum(axis=1)
+
+        self.stats.record_call(
+            rows=rows,
+            int8_macs=rows * k * self.out_features,
+            # the float group reduction
+            float_macs=rows * n_groups * self.out_features,
+        )
+        return y
+
+    def weight_nbytes(self) -> int:
+        return self.qweight.nbytes()

@@ -1,0 +1,51 @@
+"""Naive per-tensor W8A8 quantization (Fig. 3a).
+
+One scale for the whole weight tensor and one *static* scale for the whole
+activation tensor, calibrated from the raw activation absmax.  This is the
+only layout mobile NPUs execute at full speed — but activation outliers
+stretch the scale so far that ordinary values lose most of their precision,
+which is why the paper's Table 6 shows naive per-tensor schemes losing
+double-digit accuracy.  llm.npu's shadow scheme (``repro.quant.shadow``)
+fixes exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.base import (
+    QuantLinear,
+    QuantizedTensor,
+    quantize_int8,
+    quantize_weight_per_tensor,
+)
+
+
+class PerTensorLinear(QuantLinear):
+    """W8A8 linear with whole-tensor scales for weight and activation."""
+
+    scheme = "per-tensor"
+
+    def __init__(self, weight: np.ndarray, act_scale: float,
+                 bias: Optional[np.ndarray] = None, name: str = "pt"):
+        super().__init__(weight.shape[1], weight.shape[0], bias, name)
+        self.qweight: QuantizedTensor = quantize_weight_per_tensor(weight)
+        self.act_scale = float(act_scale)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        # Activation quantization with the static calibrated scale — what a
+        # pre-built NPU graph must do (no data-dependent scales on-device).
+        xq = quantize_int8(x, self.act_scale)
+        # INT8 MatMul with int32 accumulation, then one float rescale.
+        acc = xq.astype(np.int32) @ self.qweight.data.astype(np.int32).T
+        y = acc.astype(np.float32) * (self.act_scale * float(self.qweight.scale))
+        self.stats.record_call(
+            rows=x.shape[0],
+            int8_macs=x.shape[0] * self.in_features * self.out_features,
+        )
+        return y
+
+    def weight_nbytes(self) -> int:
+        return self.qweight.nbytes()

@@ -1,0 +1,209 @@
+"""llm.npu's shadow outlier execution (§3.3) — Eq. 1 of the paper.
+
+The MatMul ``(x / s) ⊙ w`` is split exactly as the paper derives::
+
+    (x/s) ⊙ w =  clip(x/s, -127, 127) ⊙ w        # INT8, runs on the NPU
+              +  extract(residual beyond s) ⊙ w   # sparse float, CPU/GPU
+
+The NPU half is an ordinary per-tensor W8A8 MatMul with a *static* scale
+``s`` calibrated offline as a high percentile of |x| — not the absmax — so
+ordinary values keep full int8 precision and only the rare outliers are
+clamped.  The CPU half extracts the clamped outlier channels into a compact
+tensor and multiplies them against the float weight columns, restoring the
+clipped mass.  Because outliers occupy 0.1–0.3% of channels (Fig. 10), the
+shadow MatMul is tiny and (in the full system) overlaps with NPU execution.
+
+Two practicality mechanisms from the paper are modelled here:
+
+* **outlier pruning** — ``shadow_enabled=False`` drops the CPU half for
+  layers whose outlier importance is low (the top-85% least important by
+  default), removing their CPU↔NPU synchronization entirely;
+* **hot-channel weight cache** — only hot channels' float weight columns
+  stay resident in CPU memory; touches outside that set are counted as
+  disk retrievals (latency charged by the engine, §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.quant.base import (
+    QuantLinear,
+    QuantizedTensor,
+    quantize_int8,
+    quantize_weight_per_channel,
+    quantize_weight_per_tensor,
+)
+
+
+@dataclass
+class ShadowStats:
+    """Shadow-path counters beyond the base QuantLinearStats."""
+
+    shadow_calls: int = 0
+    skipped_calls: int = 0
+    outlier_channels: list = field(default_factory=list)
+    hot_hits: int = 0
+    cold_misses: int = 0
+
+
+class ShadowOutlierLinear(QuantLinear):
+    """Per-tensor W8A8 linear with shadow outlier execution.
+
+    Parameters
+    ----------
+    weight:
+        Float weight, shape ``(out, in)``.
+    act_scale:
+        The calibrated outlier threshold ``s`` of Eq. 1 (percentile-based,
+        from :class:`repro.quant.observers.SiteStats.scale`).
+    shadow_enabled:
+        When ``False`` the CPU compensation is pruned (§3.3 importance
+        pruning) and outliers are simply clamped.
+    hot_channels:
+        Channel indices whose float weight columns are cached in CPU
+        memory. ``None`` means "cache everything" (no miss accounting).
+    per_channel_weights:
+        Quantize weights with one scale per output row (default).  This is
+        NPU-compatible — output-row scales fold into the single float
+        rescale after the int32 accumulation, unlike input-dimension
+        grouping — and is what the paper's "enhanced per-tensor" W8A8
+        pipeline exports.
+    equalize:
+        Per-input-channel equalization factors ``e`` (all <= 1): the
+        activation is divided by ``e`` (amplifying quiet channels toward
+        the outlier threshold) while the weight columns are multiplied by
+        ``e``.  Exactly like SmoothQuant's migration this folds into the
+        preceding norm's gains offline, so the NPU graph is unchanged —
+        it is part of the paper's "enhanced per-tensor quantization
+        algorithm".  ``None`` disables equalization.
+    """
+
+    scheme = "llm.npu-shadow"
+
+    def __init__(self, weight: np.ndarray, act_scale: float,
+                 shadow_enabled: bool = True,
+                 hot_channels: Optional[np.ndarray] = None,
+                 bias: Optional[np.ndarray] = None, name: str = "shadow",
+                 per_channel_weights: bool = True,
+                 equalize: Optional[np.ndarray] = None):
+        super().__init__(weight.shape[1], weight.shape[0], bias, name)
+        self.per_channel_weights = per_channel_weights
+        if equalize is None:
+            self.equalize = None
+            effective_weight = weight
+        else:
+            equalize = np.asarray(equalize, dtype=np.float32)
+            if equalize.shape != (weight.shape[1],):
+                raise ValueError(
+                    f"{name}: equalize shape {equalize.shape} must be "
+                    f"({weight.shape[1]},)"
+                )
+            self.equalize = np.minimum(np.maximum(equalize, 1e-6), 1.0)
+            effective_weight = weight * self.equalize[None, :]
+        self.qweight: QuantizedTensor = (
+            quantize_weight_per_channel(effective_weight)
+            if per_channel_weights
+            else quantize_weight_per_tensor(effective_weight)
+        )
+        self.act_scale = float(act_scale)
+        self.shadow_enabled = bool(shadow_enabled)
+        # Float weights in the *equalized* basis, matching the activations
+        # the shadow path sees.
+        self.float_weight = effective_weight.astype(np.float32)
+        self.hot_channel_set: Optional[Set[int]] = (
+            None if hot_channels is None else set(int(c) for c in hot_channels)
+        )
+        self.shadow_stats = ShadowStats()
+
+    # -- the two halves of Eq. 1 -------------------------------------------
+
+    def npu_half(self, x: np.ndarray) -> np.ndarray:
+        """The NPU-resident per-tensor W8A8 MatMul (values within ±127·s)."""
+        xq = quantize_int8(x, self.act_scale)
+        acc = xq.astype(np.int32) @ self.qweight.data.astype(np.int32).T
+        self.stats.record_call(
+            rows=x.shape[0],
+            int8_macs=x.shape[0] * self.in_features * self.out_features,
+        )
+        if self.per_channel_weights:
+            rescale = self.act_scale * self.qweight.scale[None, :]
+        else:
+            rescale = self.act_scale * float(self.qweight.scale)
+        return acc.astype(np.float32) * rescale
+
+    def outlier_columns(self, x: np.ndarray) -> np.ndarray:
+        """Channels containing at least one clamped value in this call."""
+        limit = 127.0 * self.act_scale
+        return np.flatnonzero(np.abs(x).max(axis=0) > limit)
+
+    def shadow_half(self, x: np.ndarray,
+                    cols: np.ndarray) -> Optional[np.ndarray]:
+        """The CPU-resident compensation MatMul over outlier channels.
+
+        Returns ``None`` when there is nothing to compensate.  The residual
+        is ``x - dequant(clip(round(x/s)))`` restricted to outlier columns —
+        the ``extract(⌊(x/s)/128⌋·128)`` term of Eq. 1 computed exactly.
+        """
+        if cols.size == 0:
+            return None
+        x_cols = x[:, cols]
+        reconstructed = quantize_int8(x_cols, self.act_scale).astype(
+            np.float32
+        ) * self.act_scale
+        residual = x_cols - reconstructed
+        y = residual @ self.float_weight[:, cols].T
+        self.stats.float_macs += x.shape[0] * int(cols.size) * self.out_features
+        return y
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        if self.equalize is not None:
+            x = x / self.equalize[None, :]
+        y = self.npu_half(x)
+        cols = self.outlier_columns(x)
+        self.shadow_stats.outlier_channels.append(int(cols.size))
+        if not self.shadow_enabled:
+            self.shadow_stats.skipped_calls += 1
+            return y
+        self.shadow_stats.shadow_calls += 1
+        self._account_hot_channels(cols)
+        shadow = self.shadow_half(x, cols)
+        if shadow is not None:
+            y = y + shadow
+        return y
+
+    def _account_hot_channels(self, cols: np.ndarray) -> None:
+        if self.hot_channel_set is None:
+            self.shadow_stats.hot_hits += int(cols.size)
+            return
+        for c in cols:
+            if int(c) in self.hot_channel_set:
+                self.shadow_stats.hot_hits += 1
+            else:
+                self.shadow_stats.cold_misses += 1
+
+    # -- memory accounting ---------------------------------------------------
+
+    def weight_nbytes(self) -> int:
+        """Quantized weights + resident float outlier columns.
+
+        With a hot-channel cache only those columns' float weights count
+        (the 34.3% shadow-memory saving of §3.3); without one, the full
+        float copy is resident (the naive 2× footprint the paper fixes).
+        """
+        base = self.qweight.nbytes()
+        if not self.shadow_enabled:
+            return base
+        if self.hot_channel_set is None:
+            return base + self.float_weight.nbytes
+        resident_cols = len(self.hot_channel_set)
+        return base + resident_cols * self.out_features * 4
+
+    def mean_outlier_channels(self) -> float:
+        """Average outlier channels per call (Fig. 10 runtime counterpart)."""
+        if not self.shadow_stats.outlier_channels:
+            return 0.0
+        return float(np.mean(self.shadow_stats.outlier_channels))

@@ -1,0 +1,56 @@
+"""Synthetic workloads: request-length distributions for the paper's
+datasets, prompt-text generators for the examples, calibration corpora,
+and teacher-agreement accuracy benchmarks."""
+
+from repro.workloads.benchmarks_acc import (
+    ACCURACY_BENCHMARKS,
+    AccuracyBenchmark,
+    BenchmarkItem,
+    build_items,
+    evaluate,
+    get_benchmark,
+    model_answers,
+    teacher_agreement,
+)
+from repro.workloads.corpus import calibration_corpus, heldout_sequences
+from repro.workloads.datasets import (
+    CHAT_SUMMARY,
+    EMAIL_REPLY,
+    QA_RETRIEVAL,
+    UI_AUTOMATION,
+    UI_AUTOMATION_SHORT,
+    WORKLOADS,
+    WorkloadSample,
+    WorkloadSpec,
+    geomean,
+    get_workload,
+    sample_workload,
+)
+from repro.workloads.prompts import chat_dialogue, email_history, ui_view_hierarchy
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadSample",
+    "WORKLOADS",
+    "UI_AUTOMATION",
+    "UI_AUTOMATION_SHORT",
+    "EMAIL_REPLY",
+    "QA_RETRIEVAL",
+    "CHAT_SUMMARY",
+    "get_workload",
+    "sample_workload",
+    "geomean",
+    "calibration_corpus",
+    "heldout_sequences",
+    "AccuracyBenchmark",
+    "ACCURACY_BENCHMARKS",
+    "BenchmarkItem",
+    "get_benchmark",
+    "build_items",
+    "model_answers",
+    "teacher_agreement",
+    "evaluate",
+    "ui_view_hierarchy",
+    "email_history",
+    "chat_dialogue",
+]

@@ -1,0 +1,149 @@
+"""Synthetic accuracy benchmarks standing in for the paper's LLM suites.
+
+The paper evaluates quantization accuracy on LAMBADA, HellaSwag,
+WinoGrande, OpenBookQA and MMLU (Table 6).  Those measure how much a
+quantized model *diverges from the full-precision model's behaviour* on
+its tasks; offline, with synthetic-weight models, the same quantity is
+measured directly as **teacher agreement**: the FP32 model defines the
+correct answer (its own argmax choice) and a quantized model scores the
+fraction of items where it makes the same choice.
+
+Two task shapes cover the benchmark styles:
+
+* **cloze** (LAMBADA-style) — predict the next token after a context;
+* **multiple-choice** (HellaSwag/WinoGrande/OpenBookQA/MMLU-style) —
+  given a context and ``k`` candidate continuation tokens, pick the
+  candidate the model scores highest.
+
+The five named suites differ in context length, choice count and seed so
+each probes a different operating point, mirroring how the real suites
+stress different context regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.model.config import ModelConfig
+from repro.model.transformer import DecoderModel
+
+
+@dataclass(frozen=True)
+class AccuracyBenchmark:
+    """A synthetic stand-in for one of the paper's accuracy suites."""
+
+    name: str
+    paper_benchmark: str
+    kind: str  # 'cloze' | 'mcq'
+    n_items: int
+    context_len: int
+    n_choices: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cloze", "mcq"):
+            raise WorkloadError(f"unknown benchmark kind {self.kind!r}")
+        if self.n_items <= 0 or self.context_len <= 0:
+            raise WorkloadError(f"{self.name}: non-positive sizes")
+        if self.kind == "mcq" and self.n_choices < 2:
+            raise WorkloadError(f"{self.name}: mcq needs >= 2 choices")
+
+
+#: The five suites of Table 6, as synthetic counterparts.
+ACCURACY_BENCHMARKS: Dict[str, AccuracyBenchmark] = {
+    "lambada": AccuracyBenchmark(
+        name="lambada", paper_benchmark="LAMBADA", kind="cloze",
+        n_items=64, context_len=48, seed=11,
+    ),
+    "hellaswag": AccuracyBenchmark(
+        name="hellaswag", paper_benchmark="HellaSwag", kind="mcq",
+        n_items=64, context_len=40, n_choices=4, seed=22,
+    ),
+    "winogrande": AccuracyBenchmark(
+        name="winogrande", paper_benchmark="WinoGrande", kind="mcq",
+        n_items=64, context_len=24, n_choices=2, seed=33,
+    ),
+    "openbookqa": AccuracyBenchmark(
+        name="openbookqa", paper_benchmark="OpenBookQA", kind="mcq",
+        n_items=64, context_len=16, n_choices=4, seed=44,
+    ),
+    "mmlu": AccuracyBenchmark(
+        name="mmlu", paper_benchmark="MMLU", kind="mcq",
+        n_items=64, context_len=32, n_choices=4, seed=55,
+    ),
+}
+
+
+def get_benchmark(name: str) -> AccuracyBenchmark:
+    try:
+        return ACCURACY_BENCHMARKS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; "
+            f"available: {sorted(ACCURACY_BENCHMARKS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class BenchmarkItem:
+    """One evaluation item: a context and (for mcq) candidate tokens."""
+
+    context: np.ndarray
+    choices: Tuple[int, ...] = ()
+
+
+def build_items(benchmark: AccuracyBenchmark,
+                config: ModelConfig) -> List[BenchmarkItem]:
+    """Materialize the benchmark's items for a given model config."""
+    rng = np.random.default_rng(benchmark.seed)
+    items = []
+    for _ in range(benchmark.n_items):
+        context = rng.integers(4, config.vocab_size,
+                               size=benchmark.context_len)
+        if benchmark.kind == "mcq":
+            choices = tuple(
+                int(c) for c in rng.choice(
+                    np.arange(4, config.vocab_size),
+                    size=benchmark.n_choices, replace=False,
+                )
+            )
+        else:
+            choices = ()
+        items.append(BenchmarkItem(context=context, choices=choices))
+    return items
+
+
+def model_answers(model: DecoderModel, benchmark: AccuracyBenchmark,
+                  items: List[BenchmarkItem]) -> np.ndarray:
+    """The model's answer index/token for every item."""
+    answers = np.empty(len(items), dtype=np.int64)
+    for i, item in enumerate(items):
+        logits = model.prefill(item.context)[-1]
+        if benchmark.kind == "cloze":
+            answers[i] = int(np.argmax(logits))
+        else:
+            scores = logits[list(item.choices)]
+            answers[i] = int(np.argmax(scores))
+    return answers
+
+
+def teacher_agreement(reference_answers: np.ndarray,
+                      candidate_answers: np.ndarray) -> float:
+    """Fraction of items where the candidate matches the reference."""
+    if reference_answers.shape != candidate_answers.shape:
+        raise WorkloadError("answer arrays must have identical shape")
+    if reference_answers.size == 0:
+        raise WorkloadError("no items to score")
+    return float(np.mean(reference_answers == candidate_answers))
+
+
+def evaluate(model: DecoderModel, reference_answers: np.ndarray,
+             benchmark: AccuracyBenchmark,
+             items: List[BenchmarkItem]) -> float:
+    """Score ``model`` against pre-computed reference answers."""
+    return teacher_agreement(reference_answers,
+                             model_answers(model, benchmark, items))

@@ -1,0 +1,39 @@
+"""Calibration corpora for the quantization experiments.
+
+The paper profiles outlier thresholds and importance "using large corpora
+data at offline stage" (wikitext in Figs. 10-12).  Offline, we generate
+token-id sequences for the synthetic models; spike tokens baked into the
+synthetic embeddings make these sequences exhibit the measured outlier
+statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.model.config import ModelConfig
+
+
+def calibration_corpus(config: ModelConfig, n_sequences: int = 8,
+                       seq_len: int = 48, seed: int = 0) -> List[np.ndarray]:
+    """Random token-id sequences avoiding the reserved control range."""
+    if n_sequences <= 0 or seq_len <= 0:
+        raise WorkloadError("corpus dimensions must be positive")
+    if seq_len > config.max_context:
+        raise WorkloadError(
+            f"seq_len {seq_len} exceeds max_context {config.max_context}"
+        )
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(4, config.vocab_size, size=seq_len)
+        for _ in range(n_sequences)
+    ]
+
+
+def heldout_sequences(config: ModelConfig, n_sequences: int = 6,
+                      seq_len: int = 48, seed: int = 1000) -> List[np.ndarray]:
+    """Evaluation sequences disjoint from the calibration seed space."""
+    return calibration_corpus(config, n_sequences, seq_len, seed=seed)

@@ -1,0 +1,148 @@
+"""Tests for the baseline engines and the Fig. 14 comparison shape."""
+
+import pytest
+
+from repro.baselines import (
+    BASELINES,
+    BaselineProfile,
+    LlamaCppEngine,
+    MlcEngine,
+    MnnEngine,
+    NaiveNpuEngine,
+    PowerInferV2Engine,
+    TfliteEngine,
+    make_baseline,
+)
+from repro.core import LlmNpuEngine
+from repro.errors import EngineError
+
+MODEL = "Qwen1.5-1.8B"
+DEVICE = "Redmi K70 Pro"
+
+
+@pytest.fixture(scope="module")
+def ours():
+    return LlmNpuEngine.build(MODEL, DEVICE)
+
+
+@pytest.fixture(scope="module")
+def speeds(ours):
+    out = {"llm.npu": ours.prefill(1024).tokens_per_s}
+    for name in BASELINES:
+        engine = make_baseline(name, MODEL, DEVICE)
+        out[name] = engine.prefill(1024).tokens_per_s
+    return out
+
+
+class TestRegistry:
+    def test_all_five_baselines(self):
+        assert len(BASELINES) == 5
+
+    def test_unknown_baseline(self):
+        with pytest.raises(EngineError):
+            make_baseline("vllm", MODEL, DEVICE)
+
+    def test_invalid_profile(self):
+        with pytest.raises(EngineError):
+            BaselineProfile(name="x", prefill_proc="cpu",
+                            decode_proc="cpu", prefill_efficiency=0)
+
+
+class TestFig14Shape:
+    """Who wins and by roughly what factor, prompt length 1024."""
+
+    def test_llm_npu_beats_everyone(self, speeds):
+        for name, speed in speeds.items():
+            if name != "llm.npu":
+                assert speeds["llm.npu"] > speed, name
+
+    def test_llama_cpp_absolute_anchor(self, speeds):
+        # Table 5: llama.cpp prefills Qwen1.5-1.8B at ~59 tok/s.
+        assert speeds["llama.cpp-CPU"] == pytest.approx(59, rel=0.25)
+
+    def test_llama_cpp_gap(self, speeds):
+        # Paper: 18.2x for Qwen (across models 18-38x); shape check >= 10x.
+        ratio = speeds["llm.npu"] / speeds["llama.cpp-CPU"]
+        assert 10 < ratio < 45
+
+    def test_mnn_gap(self, speeds):
+        # Paper: 7.3x.
+        ratio = speeds["llm.npu"] / speeds["MNN-CPU"]
+        assert 5 < ratio < 10
+
+    def test_tflite_gap(self, speeds):
+        # Paper: 1.27-2.34x (the strongest baseline).
+        ratio = speeds["llm.npu"] / speeds["TFLite-GPU"]
+        assert 1.2 < ratio < 2.6
+
+    def test_mlc_gap(self, speeds):
+        # Paper: 32.5-43.6x.
+        ratio = speeds["llm.npu"] / speeds["MLC-GPU"]
+        assert 25 < ratio < 55
+
+    def test_powerinfer_gap(self, speeds):
+        # Paper: 3.28-5.32x.
+        ratio = speeds["llm.npu"] / speeds["PowerInfer-V2-NPU"]
+        assert 3.0 < ratio < 6.0
+
+    def test_baseline_ordering(self, speeds):
+        # TFLite > MNN > llama.cpp > MLC among baselines.
+        assert (speeds["TFLite-GPU"] > speeds["MNN-CPU"]
+                > speeds["llama.cpp-CPU"] > speeds["MLC-GPU"])
+
+    def test_gaps_shrink_for_short_prompts(self, ours):
+        # §4.2: speedups at 64 tokens are much smaller than at 1024.
+        lcpp = make_baseline("llama.cpp-CPU", MODEL, DEVICE)
+        gap_64 = (ours.prefill(64).tokens_per_s
+                  / lcpp.prefill(64).tokens_per_s)
+        gap_1024 = (ours.prefill(1024).tokens_per_s
+                    / lcpp.prefill(1024).tokens_per_s)
+        assert gap_64 < 0.6 * gap_1024
+
+
+class TestDevicesAndEnergy:
+    def test_k60_slower_than_k70(self):
+        fast = LlmNpuEngine.build(MODEL, "Redmi K70 Pro").prefill(1024)
+        slow = LlmNpuEngine.build(MODEL, "Redmi K60 Pro").prefill(1024)
+        assert slow.latency_s > fast.latency_s
+
+    def test_energy_savings_shape(self):
+        # Fig. 15 on the K60 Pro: llm.npu saves large factors vs CPU
+        # engines and smaller ones vs TFLite-GPU.
+        ours = LlmNpuEngine.build(MODEL, "Redmi K60 Pro").infer(1024)
+        ours_j = ours.extras["prefill_energy_j"]
+        lcpp = LlamaCppEngine(MODEL, "Redmi K60 Pro").infer(1024)
+        tfl = TfliteEngine(MODEL, "Redmi K60 Pro").infer(1024)
+        mlc = MlcEngine(MODEL, "Redmi K60 Pro").infer(1024)
+        assert lcpp.extras["prefill_energy_j"] / ours_j > 8
+        assert mlc.extras["prefill_energy_j"] / ours_j > 20
+        assert 1.3 < tfl.extras["prefill_energy_j"] / ours_j < 5
+
+
+class TestDecodeBehaviour:
+    def test_mnn_decodes_slower_than_llama_cpp(self):
+        # Table 5's odd-but-real observation.
+        lcpp = LlamaCppEngine(MODEL, DEVICE)
+        mnn = MnnEngine(MODEL, DEVICE)
+        assert mnn.decode(1024, 4) > lcpp.decode(1024, 4)
+
+    def test_ours_decode_matches_llama_cpp(self):
+        # Both use the same CPU decode path (§4: MLLM CPU backend).
+        ours = LlmNpuEngine.build(MODEL, DEVICE)
+        lcpp = LlamaCppEngine(MODEL, DEVICE)
+        assert ours.decode(1024, 4) == pytest.approx(
+            lcpp.decode(1024, 4), rel=0.15
+        )
+
+
+class TestNaiveNpu:
+    def test_slower_than_llama_cpp(self, speeds):
+        # §2.3: direct NPU offload is often slower than the CPU.
+        naive = NaiveNpuEngine(MODEL, DEVICE)
+        assert naive.prefill(1024).tokens_per_s < speeds["llama.cpp-CPU"]
+
+    def test_dominated_by_graph_rebuild(self):
+        naive = NaiveNpuEngine(MODEL, DEVICE)
+        report = naive.prefill(512)
+        rebuild = naive.graph.naive_per_prompt_preparation_s()
+        assert rebuild > 0.5 * report.latency_s

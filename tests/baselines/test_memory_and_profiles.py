@@ -1,0 +1,83 @@
+"""Tests for baseline memory accounting and profile consistency."""
+
+import pytest
+
+from repro.baselines import (
+    BASELINES,
+    LlamaCppEngine,
+    MnnEngine,
+    TfliteEngine,
+    make_baseline,
+)
+from repro.hw.processor import DType
+from repro.model import LLAMA2_7B, QWEN15_18B
+
+MODEL = "Qwen1.5-1.8B"
+DEVICE = "Redmi K70 Pro"
+
+
+class TestBaselineMemory:
+    def test_int8_engines_store_one_byte_per_param(self):
+        engine = LlamaCppEngine(MODEL, DEVICE)
+        weights_only = engine.memory_bytes(1)
+        assert weights_only >= QWEN15_18B.param_count(False)
+        assert weights_only < QWEN15_18B.param_count(False) * 1.2
+
+    def test_fp16_engine_stores_two_bytes(self):
+        int8 = LlamaCppEngine(MODEL, DEVICE).memory_bytes(512)
+        fp16 = TfliteEngine(MODEL, DEVICE).memory_bytes(512)
+        assert fp16 > 1.6 * int8
+
+    def test_memory_grows_with_context(self):
+        engine = MnnEngine(MODEL, DEVICE)
+        assert engine.memory_bytes(2048) > engine.memory_bytes(128)
+
+    def test_7b_memory_larger_than_2b(self):
+        small = LlamaCppEngine(QWEN15_18B, DEVICE).memory_bytes(512)
+        big = LlamaCppEngine(LLAMA2_7B, DEVICE).memory_bytes(512)
+        assert big > 4 * small
+
+
+class TestProfileConsistency:
+    def test_cpu_engines_use_cpu(self):
+        for name in ("llama.cpp-CPU", "MNN-CPU"):
+            engine = make_baseline(name, MODEL, DEVICE)
+            assert engine.profile.prefill_proc == "cpu"
+            assert engine.profile.decode_proc == "cpu"
+
+    def test_gpu_engines_use_fp16(self):
+        for name in ("TFLite-GPU", "MLC-GPU"):
+            engine = make_baseline(name, MODEL, DEVICE)
+            assert engine.profile.prefill_proc == "gpu"
+            assert engine.profile.weight_dtype is DType.FP16
+
+    def test_llama_cpp_is_per_group(self):
+        engine = make_baseline("llama.cpp-CPU", MODEL, DEVICE)
+        assert engine.profile.per_group
+        assert engine.profile.group_size == 32
+
+    def test_mnn_is_per_tensor(self):
+        engine = make_baseline("MNN-CPU", MODEL, DEVICE)
+        assert not engine.profile.per_group
+
+    def test_prefill_reports_have_single_chunk(self):
+        # baselines process the prompt in one batch (no static-shape
+        # constraint on CPU/GPU)
+        engine = make_baseline("TFLite-GPU", MODEL, DEVICE)
+        assert engine.prefill(700).n_chunks == 1
+        assert engine.prefill(700).padded_tokens == 0
+
+
+class TestBaselineScaling:
+    @pytest.mark.parametrize("name", sorted(BASELINES))
+    def test_prefill_latency_superlinear_in_prompt(self, name):
+        engine = make_baseline(name, MODEL, DEVICE)
+        short = engine.prefill(256).latency_s
+        long = engine.prefill(1024).latency_s
+        assert long > 2.5 * short  # 4x tokens, attention is quadratic
+
+    @pytest.mark.parametrize("name", sorted(BASELINES))
+    def test_devices_ordered(self, name):
+        fast = make_baseline(name, MODEL, "Redmi K70 Pro").prefill(512)
+        slow = make_baseline(name, MODEL, "Redmi K60 Pro").prefill(512)
+        assert slow.latency_s > fast.latency_s

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.model import OutlierSpec, build_synthetic_model, tiny_config
+
+
+@pytest.fixture(scope="session")
+def tiny_cfg():
+    """Small config used across the numerical tests."""
+    return tiny_config()
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_cfg):
+    """A session-scoped synthetic model (read-only use only)."""
+    return build_synthetic_model(tiny_cfg, seed=7)
+
+
+@pytest.fixture()
+def fresh_tiny_model(tiny_cfg):
+    """A per-test model instance that tests may mutate (quantize, etc.)."""
+    return build_synthetic_model(tiny_cfg, seed=7)
+
+
+@pytest.fixture(scope="session")
+def no_outlier_model(tiny_cfg):
+    """Model without injected outliers, for contrast experiments."""
+    spec = OutlierSpec(enabled=False)
+    return build_synthetic_model(tiny_cfg, seed=7, outliers=spec)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+def random_prompt(rng, vocab_size, length):
+    """Random token ids avoiding the reserved control range."""
+    return rng.integers(4, vocab_size, size=length)
+
+
+@pytest.fixture()
+def prompt_ids(rng, tiny_cfg):
+    return random_prompt(rng, tiny_cfg.vocab_size, 24)

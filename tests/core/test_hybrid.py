@@ -1,0 +1,53 @@
+"""Tests for the hybrid (llm.npu + GPU) dispatch engine."""
+
+import pytest
+
+from repro.core import HybridEngine
+from repro.errors import EngineError
+
+
+@pytest.fixture(scope="module")
+def hybrid():
+    return HybridEngine("Qwen1.5-1.8B", "Redmi K70 Pro")
+
+
+class TestCrossoverProfiling:
+    def test_crossover_in_sensible_range(self, hybrid):
+        # below one chunk length; GPU wins only for very short prompts
+        assert 0 < hybrid.crossover_tokens < 256
+
+    def test_pick_respects_crossover(self, hybrid):
+        assert hybrid.pick(hybrid.crossover_tokens - 1) == "gpu"
+        assert hybrid.pick(hybrid.crossover_tokens) == "llm.npu"
+        assert hybrid.pick(1024) == "llm.npu"
+
+    def test_invalid_probes_rejected(self):
+        with pytest.raises(EngineError):
+            HybridEngine("Qwen1.5-1.8B", "Redmi K70 Pro",
+                         probe_lengths=())
+        with pytest.raises(EngineError):
+            HybridEngine("Qwen1.5-1.8B", "Redmi K70 Pro",
+                         probe_lengths=(0, 8))
+
+    def test_pick_invalid_prompt(self, hybrid):
+        with pytest.raises(EngineError):
+            hybrid.pick(0)
+
+
+class TestDispatch:
+    def test_hybrid_never_slower_than_either(self, hybrid):
+        for p in (8, 32, 64, 256, 700):
+            h = hybrid.prefill(p).latency_s
+            npu = hybrid.npu_engine.prefill(p).latency_s
+            gpu = hybrid.gpu_engine.prefill(p).latency_s
+            assert h <= min(npu, gpu) + 1e-9
+
+    def test_report_names_the_winner(self, hybrid):
+        short = hybrid.infer(8, 1)
+        long = hybrid.infer(512, 1)
+        assert short.engine.endswith("TFLite-GPU")
+        assert long.engine.endswith("llm.npu")
+
+    def test_short_prompt_beats_plain_llm_npu(self, hybrid):
+        plain = hybrid.npu_engine.prefill(16).latency_s
+        assert hybrid.prefill(16).latency_s < plain

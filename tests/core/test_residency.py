@@ -1,0 +1,103 @@
+"""Tests for NPU-region weight residency planning (§4 impl. note (2))."""
+
+import pytest
+
+from repro.core import LlmNpuEngine, plan_npu_residency
+from repro.core.residency import (
+    DEFAULT_RESERVE_BYTES,
+    npu_weight_bytes_by_subgraph,
+)
+from repro.errors import EngineError
+from repro.graph.ops import SG_FFN, SG_QKV, SG_WO
+from repro.hw.memory import GiB
+from repro.model import LLAMA2_7B, QWEN15_18B
+
+
+class TestWeightSizes:
+    def test_covers_all_npu_subgraphs(self):
+        sizes = npu_weight_bytes_by_subgraph(QWEN15_18B)
+        assert len(sizes) == QWEN15_18B.n_layers * 3
+
+    def test_matches_param_count(self):
+        sizes = npu_weight_bytes_by_subgraph(QWEN15_18B)
+        total = sum(sizes.values())
+        norms_and_head = (
+            QWEN15_18B.n_layers * 2 * QWEN15_18B.hidden_size
+            + QWEN15_18B.hidden_size
+        )
+        assert total == QWEN15_18B.param_count(False) - norms_and_head
+
+    def test_ffn_is_largest(self):
+        sizes = npu_weight_bytes_by_subgraph(QWEN15_18B)
+        assert sizes[(0, SG_FFN)] > sizes[(0, SG_QKV)] > sizes[(0, SG_WO)]
+
+
+class TestPlanning:
+    def test_small_model_fully_resident(self):
+        plan = plan_npu_residency(QWEN15_18B, 4 * GiB)
+        assert plan.fully_resident
+        assert plan.resident_fraction == 1.0
+
+    def test_7b_model_overflows(self):
+        plan = plan_npu_residency(LLAMA2_7B, 4 * GiB)
+        assert not plan.fully_resident
+        assert 0.3 < plan.resident_fraction < 0.9
+        assert plan.resident_bytes <= plan.budget_bytes
+
+    def test_ffn_prioritized(self):
+        # FFNs claim the budget first; QKV/WO entries only fill the slack
+        # left when the next FFN no longer fits.
+        plan = plan_npu_residency(LLAMA2_7B, 4 * GiB)
+        ffn_resident = {l for (l, p) in plan.resident if p == SG_FFN}
+        qkv_resident = {l for (l, p) in plan.resident if p == SG_QKV}
+        # at 4 GiB the FFNs alone exceed the budget partway through...
+        assert 0 < len(ffn_resident) < LLAMA2_7B.n_layers
+        # ...and residency is dominated by FFNs, not attention projections
+        assert len(ffn_resident) > len(qkv_resident)
+        sizes = npu_weight_bytes_by_subgraph(LLAMA2_7B)
+        ffn_bytes = sum(sizes[(l, SG_FFN)] for l in ffn_resident)
+        assert ffn_bytes > 0.8 * plan.resident_bytes
+
+    def test_earlier_layers_win_within_class(self):
+        plan = plan_npu_residency(LLAMA2_7B, 4 * GiB)
+        ffn_layers = sorted(l for (l, p) in plan.resident if p == SG_FFN)
+        # a contiguous prefix of layers
+        assert ffn_layers == list(range(len(ffn_layers)))
+
+    def test_bigger_region_more_resident(self):
+        small = plan_npu_residency(LLAMA2_7B, 4 * GiB)
+        big = plan_npu_residency(LLAMA2_7B, 12 * GiB)
+        assert big.resident_fraction > small.resident_fraction
+        assert big.fully_resident
+
+    def test_reserve_shrinks_budget(self):
+        loose = plan_npu_residency(LLAMA2_7B, 4 * GiB, reserve_bytes=0)
+        tight = plan_npu_residency(LLAMA2_7B, 4 * GiB,
+                                   reserve_bytes=DEFAULT_RESERVE_BYTES)
+        assert loose.resident_bytes >= tight.resident_bytes
+
+    def test_fp16_weights_double_pressure(self):
+        int8 = plan_npu_residency(LLAMA2_7B, 4 * GiB, bytes_per_weight=1)
+        fp16 = plan_npu_residency(LLAMA2_7B, 4 * GiB, bytes_per_weight=2)
+        assert fp16.resident_fraction < int8.resident_fraction
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            plan_npu_residency(QWEN15_18B, 0)
+        with pytest.raises(EngineError):
+            plan_npu_residency(QWEN15_18B, 4 * GiB, reserve_bytes=-1)
+
+
+class TestEngineIntegration:
+    def test_engine_exposes_plan(self):
+        qwen = LlmNpuEngine.build("Qwen1.5-1.8B", "Redmi K70 Pro")
+        assert qwen.npu_residency().fully_resident
+        llama = LlmNpuEngine.build("LlaMA-2-7B", "Redmi K70 Pro")
+        assert not llama.npu_residency().fully_resident
+
+    def test_is_resident_lookup(self):
+        plan = LlmNpuEngine.build(
+            "LlaMA-2-7B", "Redmi K70 Pro"
+        ).npu_residency()
+        assert plan.is_resident(0, SG_FFN)
+        assert not plan.is_resident(LLAMA2_7B.n_layers - 1, SG_WO)

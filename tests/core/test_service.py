@@ -1,0 +1,98 @@
+"""Tests for the LLM-as-a-System-Service layer."""
+
+import pytest
+
+from repro.core import LlmService
+from repro.errors import EngineError
+from repro.workloads import UI_AUTOMATION, sample_workload
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = LlmService("Redmi K70 Pro")
+    svc.submit("Qwen1.5-1.8B", prompt_tokens=512, output_tokens=2)
+    return svc
+
+
+class TestEngineCache:
+    def test_preparation_paid_once(self):
+        svc = LlmService("Redmi K70 Pro")
+        first = svc.engine_for("Qwen1.5-1.8B")
+        prep_after_first = svc.preparation_s()
+        second = svc.engine_for("Qwen1.5-1.8B")
+        assert first is second
+        assert svc.preparation_s() == prep_after_first
+
+    def test_multiple_models(self):
+        svc = LlmService("Redmi K70 Pro")
+        svc.engine_for("Qwen1.5-1.8B")
+        svc.engine_for("Gemma-2B")
+        assert svc.loaded_models == ["Gemma-2B", "Qwen1.5-1.8B"]
+        assert svc.preparation_s() > svc.preparation_s("Gemma-2B")
+
+    def test_unknown_model_preparation_raises(self, service):
+        with pytest.raises(EngineError):
+            service.preparation_s("Mistral-7B")
+
+
+class TestServing:
+    def test_first_request_pays_preparation(self):
+        svc = LlmService("Redmi K70 Pro")
+        record = svc.submit("Qwen1.5-1.8B", 512, 2)
+        # arrival is stamped after preparation; service time is the
+        # engine's e2e latency
+        assert record.service_s == pytest.approx(
+            record.report.e2e_latency_s
+        )
+        assert record.queueing_s == 0.0
+
+    def test_back_to_back_requests_queue(self):
+        svc = LlmService("Redmi K70 Pro")
+        samples = sample_workload(UI_AUTOMATION, 3)
+        records = svc.submit_workload("Qwen1.5-1.8B", samples,
+                                      inter_arrival_s=0.0)
+        assert records[0].queueing_s == 0.0
+        assert records[1].queueing_s > 0.0
+        assert records[2].queueing_s > records[1].queueing_s
+
+    def test_sparse_arrivals_do_not_queue(self):
+        svc = LlmService("Redmi K70 Pro")
+        samples = sample_workload(UI_AUTOMATION, 3)
+        records = svc.submit_workload("Qwen1.5-1.8B", samples,
+                                      inter_arrival_s=60.0)
+        assert all(r.queueing_s == 0.0 for r in records)
+
+    def test_clock_monotone(self):
+        svc = LlmService("Redmi K70 Pro")
+        records = [svc.submit("Qwen1.5-1.8B", 256, 1) for _ in range(3)]
+        finishes = [r.finish_s for r in records]
+        assert finishes == sorted(finishes)
+        starts = [r.start_s for r in records]
+        assert all(s >= f - 1e-9
+                   for s, f in zip(starts[1:], finishes[:-1]))
+
+    def test_negative_gap_rejected(self):
+        svc = LlmService("Redmi K70 Pro")
+        with pytest.raises(EngineError):
+            svc.submit_workload("Qwen1.5-1.8B",
+                                sample_workload(UI_AUTOMATION, 1),
+                                inter_arrival_s=-1.0)
+
+
+class TestStats:
+    def test_empty_raises(self):
+        with pytest.raises(EngineError):
+            LlmService("Redmi K70 Pro").stats()
+
+    def test_aggregates(self):
+        svc = LlmService("Redmi K70 Pro")
+        svc.submit_workload("Qwen1.5-1.8B",
+                            sample_workload(UI_AUTOMATION, 4),
+                            inter_arrival_s=1.0)
+        stats = svc.stats()
+        assert stats.n_requests == 4
+        assert stats.mean_turnaround_s > 0
+        assert stats.p95_turnaround_s >= stats.mean_turnaround_s * 0.5
+        assert stats.total_energy_j > 0
+        assert stats.throughput_rps > 0
+        assert stats.preparation_s > 0

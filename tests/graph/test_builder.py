@@ -1,0 +1,158 @@
+"""Tests for the subgraph builder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Backend,
+    BuildOptions,
+    GraphBuilder,
+    SG_ATTN,
+    SG_FFN,
+    SG_QKV,
+    SUBGRAPHS_PER_BLOCK,
+    ShadowProfile,
+)
+from repro.hw import REDMI_K70_PRO
+from repro.model import GEMMA_2B, QWEN15_18B
+
+DEV = REDMI_K70_PRO
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return GraphBuilder(QWEN15_18B, DEV)
+
+
+class TestChunkPlan:
+    def test_subgraph_count(self, builder):
+        plan = builder.build_chunk(0, 256)
+        assert len(plan.subgraphs) == QWEN15_18B.n_layers * SUBGRAPHS_PER_BLOCK
+
+    def test_backend_assignment(self, builder):
+        plan = builder.build_chunk(0, 256)
+        for sg in plan.subgraphs:
+            if sg.position in (SG_QKV, 3, SG_FFN):
+                assert sg.backend is Backend.NPU
+            else:
+                assert sg.backend is Backend.FLOAT
+
+    def test_only_attention_is_dynamic(self, builder):
+        plan = builder.build_chunk(0, 256)
+        for sg in plan.subgraphs:
+            assert sg.static == (sg.position != SG_ATTN)
+
+    def test_qwen_sharing_matches_paper(self, builder):
+        # §3.2: 120 of 144 subgraphs shareable on Qwen1.5-1.8B.
+        plan = builder.build_chunk(0, 256)
+        assert len(plan.subgraphs) == 144
+        assert sum(1 for s in plan.subgraphs if s.static) == 120
+
+    def test_attention_latency_grows_with_chunk_index(self, builder):
+        first = builder.build_chunk(0, 256)
+        last = builder.build_chunk(3, 256)
+        attn0 = first.subgraph(0, SG_ATTN).latency_s
+        attn3 = last.subgraph(0, SG_ATTN).latency_s
+        assert attn3 > 2 * attn0
+
+    def test_static_subgraphs_identical_across_chunks(self, builder):
+        first = builder.build_chunk(0, 256)
+        last = builder.build_chunk(3, 256)
+        for pos in (0, SG_QKV, 3, 4, SG_FFN):
+            assert (first.subgraph(0, pos).latency_s
+                    == last.subgraph(0, pos).latency_s)
+
+    def test_npu_dominates_float_for_first_chunk(self, builder):
+        # §3.4: NPU work is the critical path (~2x CPU at 256 tokens).
+        plan = builder.build_chunk(0, 256)
+        ratio = plan.npu_latency_s() / plan.float_latency_s()
+        assert 1.3 < ratio < 3.5
+
+    def test_invalid_chunk_args(self, builder):
+        with pytest.raises(GraphError):
+            builder.build_chunk(-1, 256)
+        with pytest.raises(GraphError):
+            builder.build_chunk(0, 0)
+
+    def test_weights_only_on_npu_subgraphs(self, builder):
+        plan = builder.build_chunk(0, 256)
+        for sg in plan.subgraphs:
+            if sg.backend is Backend.NPU:
+                assert sg.weight_bytes > 0
+            else:
+                assert sg.weight_bytes == 0
+
+    def test_weight_bytes_match_param_count(self, builder):
+        plan = builder.build_chunk(0, 256)
+        total = sum(s.weight_bytes for s in plan.subgraphs)
+        assert total == QWEN15_18B.param_count(include_embeddings=False) - (
+            # norms are float parameters outside NPU subgraphs
+            QWEN15_18B.n_layers * 2 * QWEN15_18B.hidden_size
+            + QWEN15_18B.hidden_size
+        )
+
+
+class TestBuildOptions:
+    def test_per_group_slows_npu(self):
+        fast = GraphBuilder(QWEN15_18B, DEV, BuildOptions())
+        slow = GraphBuilder(QWEN15_18B, DEV, BuildOptions(per_group=True))
+        assert (slow.build_chunk(0, 256).npu_latency_s()
+                > 5 * fast.build_chunk(0, 256).npu_latency_s())
+
+    def test_equivalent_shapes_speed_up_npu(self):
+        with_shapes = GraphBuilder(QWEN15_18B, DEV,
+                                   BuildOptions(equivalent_shapes=True))
+        without = GraphBuilder(QWEN15_18B, DEV,
+                               BuildOptions(equivalent_shapes=False))
+        assert (with_shapes.build_chunk(0, 256).npu_latency_s()
+                < without.build_chunk(0, 256).npu_latency_s())
+
+    def test_gpu_float_backend(self):
+        gpu = GraphBuilder(QWEN15_18B, DEV, BuildOptions(float_backend="gpu"))
+        plan = gpu.build_chunk(0, 256)
+        assert plan.float_latency_s() > 0
+
+    def test_invalid_backend(self):
+        with pytest.raises(GraphError):
+            BuildOptions(float_backend="dsp")
+
+
+class TestShadowSpecs:
+    def test_default_shadows_enabled(self, builder):
+        plan = builder.build_chunk(0, 256)
+        shadow = plan.shadows[(0, SG_QKV)]
+        assert shadow.enabled
+        assert shadow.matmul_s > 0
+        assert shadow.sync_s > 0
+
+    def test_pruned_shadow_disabled(self, builder):
+        profiles = {l: ShadowProfile(pruned=True)
+                    for l in range(QWEN15_18B.n_layers)}
+        plan = builder.build_chunk(0, 256, profiles)
+        for spec in plan.shadows.values():
+            assert not spec.enabled
+            assert spec.total_s == 0.0
+
+    def test_shadow_hidden_under_npu(self, builder):
+        # §3.3: shadow matmul is far cheaper than its NPU subgraph.
+        plan = builder.build_chunk(0, 256)
+        for (layer, pos), shadow in plan.shadows.items():
+            npu_sg = plan.subgraph(layer, pos)
+            assert shadow.matmul_s < npu_sg.latency_s
+
+    def test_cold_miss_adds_disk_time(self, builder):
+        warm = {0: ShadowProfile(hot_hit_rate=1.0,
+                                 cold_bytes_per_miss=4096)}
+        cold = {0: ShadowProfile(hot_hit_rate=0.5,
+                                 cold_bytes_per_miss=4096)}
+        plan_warm = builder.build_chunk(0, 256, warm)
+        plan_cold = builder.build_chunk(0, 256, cold)
+        assert plan_warm.shadows[(0, SG_QKV)].disk_s == 0.0
+        assert plan_cold.shadows[(0, SG_QKV)].disk_s > 0.0
+
+    def test_gemma_mqa_shapes(self):
+        builder = GraphBuilder(GEMMA_2B, DEV)
+        plan = builder.build_chunk(0, 256)
+        qkv = plan.subgraph(0, SG_QKV)
+        # Gemma is MQA: kv projections are tiny relative to q.
+        assert qkv.ops[1].shape[2] < qkv.ops[0].shape[2]

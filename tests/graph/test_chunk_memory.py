@@ -1,0 +1,114 @@
+"""Tests for chunk-sharing graphs and memory planning (§3.2, Fig. 17)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    ChunkSharingGraph,
+    GraphBuilder,
+    n_chunks_for,
+    padded_tokens,
+    plan_chunk_sharing,
+    plan_naive_chunk_graphs,
+    sharing_saving_fraction,
+)
+from repro.hw import REDMI_K70_PRO
+from repro.model import QWEN15_18B
+
+
+@pytest.fixture(scope="module")
+def graph():
+    builder = GraphBuilder(QWEN15_18B, REDMI_K70_PRO)
+    return ChunkSharingGraph(builder, chunk_len=256, max_chunks=4)
+
+
+class TestChunking:
+    def test_n_chunks(self):
+        assert n_chunks_for(1024, 256) == 4
+        assert n_chunks_for(1, 256) == 1
+        assert n_chunks_for(257, 256) == 2
+
+    def test_padding(self):
+        assert padded_tokens(1024, 256) == 0
+        assert padded_tokens(1000, 256) == 24
+        assert padded_tokens(1, 256) == 255
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            n_chunks_for(0, 256)
+        with pytest.raises(GraphError):
+            n_chunks_for(256, 0)
+
+
+class TestChunkSharingGraph:
+    def test_plans_for_prompt(self, graph):
+        plans = graph.plans_for_prompt(700)
+        assert len(plans) == 3
+        assert [p.chunk_index for p in plans] == [0, 1, 2]
+
+    def test_prompt_beyond_capacity_raises(self, graph):
+        with pytest.raises(GraphError):
+            graph.plans_for_prompt(2000)
+
+    def test_chunk_out_of_range(self, graph):
+        with pytest.raises(GraphError):
+            graph.plan_for_chunk(4)
+
+    def test_sharing_stats_match_paper(self, graph):
+        stats = graph.sharing_stats()
+        assert stats.shared_subgraphs == 120
+        assert stats.shared_fraction == pytest.approx(120 / 144)
+        # naive would hold 144 per chunk position
+        assert stats.naive_subgraph_instances == 144 * 4
+        assert (stats.total_subgraph_instances
+                < stats.naive_subgraph_instances)
+
+    def test_preparation_cheaper_than_naive_after_few_prompts(self, graph):
+        # Chunk-sharing pays once; naive pays per prompt.  Within a handful
+        # of prompts the one-time cost wins.
+        once = graph.preparation_s()
+        per_prompt = graph.naive_per_prompt_preparation_s()
+        assert once < 5 * per_prompt
+
+    def test_invalid_max_chunks(self):
+        builder = GraphBuilder(QWEN15_18B, REDMI_K70_PRO)
+        with pytest.raises(GraphError):
+            ChunkSharingGraph(builder, 256, 0)
+
+
+class TestMemoryPlans:
+    def test_sharing_saves_activation_memory(self, graph):
+        saving = sharing_saving_fraction(graph, 1024)
+        assert saving > 0.3  # paper: up to 75% for chunk 256 / prompt 1024
+
+    def test_naive_holds_every_copy(self, graph):
+        shared = plan_chunk_sharing(graph, 1024)
+        naive = plan_naive_chunk_graphs(graph, 1024)
+        assert naive.activation_bytes > shared.activation_bytes
+        assert naive.weights_bytes == shared.weights_bytes
+
+    def test_weights_are_int8_scale(self, graph):
+        plan = plan_chunk_sharing(graph, 1024)
+        # int8 weights: ~1 byte/param for the transformer blocks
+        expected = QWEN15_18B.weight_bytes(8, include_embeddings=False)
+        assert plan.weights_bytes == pytest.approx(expected, rel=0.01)
+
+    def test_shadow_weights_add_small_overhead(self, graph):
+        # Fig. 17: shadow float weights are 0.6-1% of total memory.
+        base = plan_chunk_sharing(graph, 1024)
+        with_shadow = plan_chunk_sharing(
+            graph, 1024,
+            shadow_weights_bytes=int(0.008 * base.total_bytes),
+        )
+        overhead = (with_shadow.total_bytes - base.total_bytes) / base.total_bytes
+        assert 0.005 < overhead < 0.015
+
+    def test_kv_cache_scales_with_prompt(self, graph):
+        short = plan_chunk_sharing(graph, 256)
+        long = plan_chunk_sharing(graph, 1024)
+        assert long.kv_cache_bytes == 4 * short.kv_cache_bytes
+
+    def test_negative_tokens_raises(self):
+        from repro.graph import kv_cache_bytes
+        with pytest.raises(GraphError):
+            kv_cache_bytes(QWEN15_18B, -1)

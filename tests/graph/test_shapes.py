@@ -1,0 +1,68 @@
+"""Tests for the equivalent-shape optimizer (§4 implementation note)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.shapes import (
+    MAX_SQUARE_SPEEDUP,
+    best_equivalent_shape,
+    equivalent_shape_gain,
+    factor_pairs,
+    shape_speedup,
+)
+
+
+class TestFactorPairs:
+    def test_basic(self):
+        assert factor_pairs(12) == [(1, 12), (2, 6), (3, 4)]
+
+    def test_prime(self):
+        assert factor_pairs(13) == [(1, 13)]
+
+    def test_square(self):
+        assert (16, 16) in factor_pairs(256)
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            factor_pairs(0)
+
+
+class TestShapeSpeedup:
+    def test_paper_data_point(self):
+        # 1024 rows viewed as 32x32 is 1.62x faster than 1024x1.
+        assert shape_speedup(32, 32) == pytest.approx(MAX_SQUARE_SPEEDUP)
+        assert shape_speedup(1, 1024) == pytest.approx(1.0, abs=0.06)
+
+    def test_square_is_best(self):
+        assert shape_speedup(16, 16) > shape_speedup(4, 64) > shape_speedup(1, 256)
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            shape_speedup(0, 4)
+
+
+class TestBestShape:
+    def test_perfect_square(self):
+        assert best_equivalent_shape(256) == (16, 16)
+        assert best_equivalent_shape(1024) == (32, 32)
+
+    def test_non_square_picks_most_balanced(self):
+        assert best_equivalent_shape(512) == (16, 32)
+
+    def test_prime_degenerate(self):
+        assert best_equivalent_shape(127) == (1, 127)
+        assert equivalent_shape_gain(127) == pytest.approx(
+            shape_speedup(1, 127)
+        )
+
+    def test_gain_for_chunk_256(self):
+        # The default chunk length gets the full square speedup.
+        assert equivalent_shape_gain(256) == pytest.approx(MAX_SQUARE_SPEEDUP)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 4096))
+    def test_gain_bounded(self, m):
+        gain = equivalent_shape_gain(m)
+        assert 1.0 <= gain <= MAX_SQUARE_SPEEDUP + 1e-9

@@ -1,0 +1,58 @@
+"""Tests for helper-power energy accounting (the Fig. 15 distinction)."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw import REDMI_K70_PRO
+from repro.hw.energy import HELPER_POWER_FRACTION
+
+DEV = REDMI_K70_PRO
+
+
+class TestHelperPower:
+    def test_helper_work_costs_less_than_full_work(self):
+        model = DEV.energy_model()
+        full = model.energy({"cpu": 10.0}, 10.0)
+        helper = model.energy({"cpu": 10.0}, 10.0,
+                              helper_seconds={"cpu": 10.0})
+        assert helper.total_j < full.total_j
+        ratio = (helper.per_processor["cpu"]
+                 / full.per_processor["cpu"])
+        assert ratio == pytest.approx(HELPER_POWER_FRACTION, rel=0.05)
+
+    def test_partial_helper_time(self):
+        model = DEV.energy_model()
+        mixed = model.energy({"cpu": 10.0}, 10.0,
+                             helper_seconds={"cpu": 4.0})
+        expected = (DEV.cpu.active_power_w * 6.0
+                    + DEV.cpu.active_power_w * HELPER_POWER_FRACTION * 4.0)
+        assert mixed.per_processor["cpu"] == pytest.approx(expected)
+
+    def test_helper_exceeding_busy_raises(self):
+        model = DEV.energy_model()
+        with pytest.raises(HardwareError):
+            model.energy({"cpu": 2.0}, 10.0, helper_seconds={"cpu": 3.0})
+
+    def test_helper_power_never_below_idle(self):
+        # a pathological spec where 45% of active < idle must clamp
+        import dataclasses
+        from repro.hw.energy import EnergyModel
+        weird = dataclasses.replace(DEV.cpu, active_power_w=1.0,
+                                    idle_power_w=0.9)
+        model = EnergyModel({"cpu": weird}, platform_power_w=0.0)
+        energy = model.energy({"cpu": 10.0}, 10.0,
+                              helper_seconds={"cpu": 10.0})
+        assert energy.per_processor["cpu"] >= 0.9 * 10.0
+
+    def test_engine_charges_float_backend_as_helper(self):
+        # the llm.npu engine's prefill energy must be below what a
+        # full-power CPU accounting would charge
+        from repro.core import LlmNpuEngine
+        engine = LlmNpuEngine.build("Qwen1.5-1.8B", "Redmi K70 Pro")
+        report = engine.infer(1024, 0)
+        prefill = report.prefill
+        model = DEV.energy_model()
+        full_power = model.energy(
+            prefill.trace.busy_by_processor(), prefill.latency_s
+        ).total_j
+        assert report.extras["prefill_energy_j"] < full_power

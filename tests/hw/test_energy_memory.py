@@ -1,0 +1,130 @@
+"""Tests for energy and memory models."""
+
+import pytest
+
+from repro.errors import HardwareError, MemoryLimitError
+from repro.hw import GiB, MiB, REDMI_K70_PRO
+from repro.hw.energy import EnergyModel
+from repro.hw.memory import MemorySpace, SocMemory
+
+DEV = REDMI_K70_PRO
+
+
+class TestEnergyModel:
+    def test_all_idle(self):
+        model = DEV.energy_model()
+        breakdown = model.energy({}, makespan_s=10.0)
+        expected_idle = sum(p.idle_power_w for p in DEV.processors.values())
+        expected = (expected_idle + DEV.platform_power_w) * 10.0
+        assert breakdown.total_j == pytest.approx(expected)
+
+    def test_cpu_run_costs_more_than_npu_run(self):
+        # Same wall time, the NPU run keeps the CPU idle and vice versa.
+        model = DEV.energy_model()
+        cpu_run = model.energy({"cpu": 10.0}, 10.0).total_j
+        npu_run = model.energy({"npu": 10.0}, 10.0).total_j
+        assert cpu_run > 3 * npu_run - (cpu_run - npu_run) * 0  # strict
+        assert cpu_run > npu_run
+
+    def test_power_hierarchy_cpu_gpu_npu(self):
+        # §4.2: CPU all-cores draws most, NPU least.
+        assert (DEV.cpu.active_power_w > DEV.gpu.active_power_w
+                > DEV.npu.active_power_w)
+
+    def test_busy_exceeding_makespan_raises(self):
+        model = DEV.energy_model()
+        with pytest.raises(HardwareError):
+            model.energy({"cpu": 11.0}, 10.0)
+
+    def test_negative_makespan_raises(self):
+        with pytest.raises(HardwareError):
+            DEV.energy_model().energy({}, -1.0)
+
+    def test_busy_energy(self):
+        model = DEV.energy_model()
+        assert model.busy_energy_j("npu", 2.0) == pytest.approx(
+            2.0 * DEV.npu.active_power_w
+        )
+
+    def test_unknown_processor_raises(self):
+        with pytest.raises(HardwareError):
+            DEV.energy_model().busy_energy_j("tpu", 1.0)
+
+    def test_negative_platform_power_rejected(self):
+        with pytest.raises(HardwareError):
+            EnergyModel(DEV.processors, platform_power_w=-1.0)
+
+
+class TestMemorySpace:
+    def test_alloc_free_cycle(self):
+        space = MemorySpace("test", 100)
+        space.alloc("a", 60)
+        assert space.used_bytes == 60
+        space.free("a")
+        assert space.used_bytes == 0
+
+    def test_limit_enforced(self):
+        space = MemorySpace("test", 100)
+        space.alloc("a", 60)
+        with pytest.raises(MemoryLimitError):
+            space.alloc("b", 50)
+
+    def test_peak_tracked(self):
+        space = MemorySpace("test", 100)
+        space.alloc("a", 60)
+        space.free("a")
+        space.alloc("b", 10)
+        assert space.peak_bytes == 60
+
+    def test_duplicate_name_rejected(self):
+        space = MemorySpace("test", 100)
+        space.alloc("a", 10)
+        with pytest.raises(MemoryLimitError):
+            space.alloc("a", 10)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(MemoryLimitError):
+            MemorySpace("test", 100).free("ghost")
+
+    def test_unlimited_space(self):
+        space = MemorySpace("test")
+        space.alloc("big", 10**15)
+        assert space.would_fit(10**15)
+
+    def test_would_fit(self):
+        space = MemorySpace("test", 100)
+        space.alloc("a", 60)
+        assert space.would_fit(40)
+        assert not space.would_fit(41)
+
+
+class TestSocMemory:
+    def test_npu_region_capped_at_4gb(self):
+        mem = SocMemory(24 * GiB)
+        assert mem.npu.limit_bytes == 4 * GiB
+
+    def test_npu_region_cannot_hold_7b_weights(self):
+        # §4 implementation note: 4 GB NPU region < LLaMA-7B int8 weights
+        # + activations, so llm.npu prioritizes FFN-style ops on the NPU.
+        mem = SocMemory(24 * GiB)
+        with pytest.raises(MemoryLimitError):
+            mem.npu.alloc("llama7b-weights", 7 * GiB)
+
+    def test_shared_alloc_rolls_back_on_failure(self):
+        mem = SocMemory(24 * GiB)
+        with pytest.raises(MemoryLimitError):
+            mem.alloc_shared("too-big", 5 * GiB, spaces=[mem.cpu, mem.npu])
+        assert mem.dram.used_bytes == 0
+        assert mem.cpu.used_bytes == 0
+
+    def test_shared_alloc_counts_dram_once(self):
+        mem = SocMemory(24 * GiB)
+        mem.alloc_shared("weights", 1 * GiB, spaces=[mem.cpu])
+        assert mem.report() == {
+            "dram": 1 * GiB, "cpu": 1 * GiB, "npu": 0,
+        }
+
+    def test_device_memory_presets(self):
+        from repro.hw import REDMI_K60_PRO
+        assert REDMI_K70_PRO.memory().dram.limit_bytes == 24 * GiB
+        assert REDMI_K60_PRO.memory().dram.limit_bytes == 16 * GiB

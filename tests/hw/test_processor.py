@@ -1,0 +1,112 @@
+"""Tests for processor specs and the MatMul profile cost model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.processor import DType, MatMulProfile, ProcKind, ProcessorSpec
+
+
+def make_profile(**kwargs):
+    defaults = dict(peak_ops=1e12, m_sat=256, m_exp=1.0,
+                    overhead_s=1e-4, mem_bandwidth=3e10)
+    defaults.update(kwargs)
+    return MatMulProfile(**defaults)
+
+
+class TestMatMulProfile:
+    def test_utilization_saturates(self):
+        p = make_profile()
+        assert p.utilization(256) == 1.0
+        assert p.utilization(512) == 1.0
+        assert p.utilization(128) == pytest.approx(0.5)
+
+    def test_min_util_floor(self):
+        p = make_profile(min_util=0.1)
+        assert p.utilization(1) == 0.1
+
+    def test_zero_exp_is_flat(self):
+        p = make_profile(m_exp=0.0)
+        assert p.utilization(1) == 1.0
+
+    def test_latency_monotone_in_shape(self):
+        p = make_profile()
+        base = p.latency(256, 1024, 1024)
+        assert p.latency(256, 2048, 1024) > base
+        assert p.latency(256, 1024, 2048) > base
+        assert p.latency(512, 1024, 1024) > base
+
+    def test_overhead_floor(self):
+        p = make_profile(overhead_s=0.5)
+        assert p.latency(1, 1, 1) >= 0.5
+
+    def test_memory_bound_regime(self):
+        # Tiny compute, huge weights: memory term dominates.
+        p = make_profile(peak_ops=1e18, mem_bandwidth=1e9, overhead_s=0.0)
+        lat = p.latency(1, 4096, 4096, weight_bytes=4096 * 4096)
+        assert lat == pytest.approx(4096 * 4096 / 1e9)
+
+    def test_sum_combine_adds_terms(self):
+        pmax = make_profile(combine="max", overhead_s=0.0, m_exp=0.0)
+        psum = make_profile(combine="sum", overhead_s=0.0, m_exp=0.0)
+        assert psum.latency(64, 1024, 1024) > pmax.latency(64, 1024, 1024)
+
+    def test_invalid_combine_raises(self):
+        with pytest.raises(ConfigError):
+            make_profile(combine="avg")
+
+    def test_invalid_shape_raises(self):
+        p = make_profile()
+        with pytest.raises(ConfigError):
+            p.latency(0, 10, 10)
+        with pytest.raises(ConfigError):
+            p.utilization(0)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ConfigError):
+            make_profile(peak_ops=0)
+        with pytest.raises(ConfigError):
+            make_profile(min_util=1.5)
+
+
+class TestProcessorSpec:
+    def make_spec(self, **kwargs):
+        defaults = dict(
+            name="test", kind=ProcKind.CPU,
+            matmul={DType.INT8: make_profile()},
+            vector_ops_per_s=1e10, dispatch_overhead_s=1e-5,
+            active_power_w=5.0, idle_power_w=0.2,
+        )
+        defaults.update(kwargs)
+        return ProcessorSpec(**defaults)
+
+    def test_supports(self):
+        spec = self.make_spec()
+        assert spec.supports(DType.INT8)
+        assert not spec.supports(DType.FP16)
+
+    def test_missing_profile_raises(self):
+        spec = self.make_spec()
+        with pytest.raises(ConfigError):
+            spec.matmul_profile(DType.FP16)
+
+    def test_vector_latency(self):
+        spec = self.make_spec()
+        lat = spec.vector_latency(1e10, 1.0)
+        assert lat == pytest.approx(1.0 + 1e-5)
+
+    def test_vector_latency_negative_raises(self):
+        with pytest.raises(ConfigError):
+            self.make_spec().vector_latency(-1)
+
+    def test_power_sanity_enforced(self):
+        with pytest.raises(ConfigError):
+            self.make_spec(active_power_w=0.1, idle_power_w=0.2)
+
+    def test_empty_matmul_raises(self):
+        with pytest.raises(ConfigError):
+            self.make_spec(matmul={})
+
+    def test_dtype_bytes(self):
+        assert DType.INT8.bytes == 1
+        assert DType.FP16.bytes == 2
+        assert DType.FP32.bytes == 4

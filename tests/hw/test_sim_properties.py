@@ -1,0 +1,139 @@
+"""Property-based tests: simulator invariants over random task DAGs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import get_policy
+from repro.hw.sim import FifoPolicy, Simulator, Task, critical_path_s
+
+PROCS = ("cpu", "npu")
+
+
+@st.composite
+def task_dags(draw, max_tasks=14):
+    """Random DAGs: dependencies only point to earlier tasks (acyclic)."""
+    n = draw(st.integers(1, max_tasks))
+    tasks = []
+    for i in range(n):
+        n_deps = draw(st.integers(0, min(i, 3)))
+        deps = tuple(
+            f"t{j}" for j in sorted(
+                draw(st.permutations(range(i)))[:n_deps]
+            )
+        ) if i else ()
+        tasks.append(Task(
+            task_id=f"t{i}",
+            proc=draw(st.sampled_from(PROCS)),
+            duration_s=draw(st.floats(0.0, 5.0, allow_nan=False)),
+            deps=deps,
+            chunk=draw(st.integers(0, 3)),
+            subgraph=i,
+        ))
+    return tasks
+
+
+POLICIES = ["fifo", "in-order", "chunk-order", "ooo", "ooo-normalized",
+            "latency-greedy"]
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_dags(), policy=st.sampled_from(POLICIES))
+    def test_valid_complete_schedule(self, tasks, policy):
+        trace = Simulator(PROCS).run(tasks, get_policy(policy))
+        # completeness: every task ran exactly once
+        assert sorted(e.task_id for e in trace.events) == sorted(
+            t.task_id for t in tasks
+        )
+        # Eq. 4: serial per processor
+        trace.validate_serial()
+        # dependencies respected
+        start = {e.task_id: e.start_s for e in trace.events}
+        end = {e.task_id: e.end_s for e in trace.events}
+        for t in tasks:
+            for d in t.deps:
+                assert start[t.task_id] >= end[d] - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_dags(), policy=st.sampled_from(POLICIES))
+    def test_makespan_bounds(self, tasks, policy):
+        trace = Simulator(PROCS).run(tasks, get_policy(policy))
+        total = sum(t.duration_s for t in tasks)
+        cp = critical_path_s(tasks)
+        busiest = max(
+            sum(t.duration_s for t in tasks if t.proc == p) for p in PROCS
+        )
+        # lower bounds: critical path and the busiest processor
+        assert trace.makespan_s >= cp - 1e-9
+        assert trace.makespan_s >= busiest - 1e-9
+        # upper bound: fully serial execution
+        assert trace.makespan_s <= total + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_dags())
+    def test_work_conservation(self, tasks):
+        # every policy executes exactly the same total work
+        busies = []
+        for policy in POLICIES:
+            trace = Simulator(PROCS).run(tasks, get_policy(policy))
+            busies.append(sum(trace.busy_seconds(p) for p in PROCS))
+        expected = sum(t.duration_s for t in tasks)
+        for busy in busies:
+            assert busy == pytest.approx(expected, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_dags())
+    def test_determinism(self, tasks):
+        a = Simulator(PROCS).run(tasks, get_policy("ooo"))
+        b = Simulator(PROCS).run(tasks, get_policy("ooo"))
+        assert [(e.task_id, e.start_s) for e in a.events] == [
+            (e.task_id, e.start_s) for e in b.events
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_dags())
+    def test_single_processor_equals_serial(self, tasks):
+        # all tasks forced to one processor: makespan == total work
+        serial = [
+            Task(t.task_id, "cpu", t.duration_s, t.deps) for t in tasks
+        ]
+        trace = Simulator(["cpu"]).run(serial, FifoPolicy())
+        assert trace.makespan_s == pytest.approx(
+            sum(t.duration_s for t in tasks)
+        )
+
+
+class TestChunkedTaskGraphProperties:
+    """Invariants of the real llm.npu task graphs across random configs."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n_chunks=st.integers(1, 4),
+        n_layers=st.integers(1, 4),
+        pruned=st.booleans(),
+        policy=st.sampled_from(["ooo", "in-order", "latency-greedy"]),
+    )
+    def test_prefill_graph_always_schedulable(self, n_chunks, n_layers,
+                                              pruned, policy):
+        from repro.core.dependency import build_task_graph
+        from repro.graph import GraphBuilder
+        from repro.graph.builder import ShadowProfile
+        from repro.hw import REDMI_K70_PRO
+        from repro.model import tiny_config
+
+        cfg = tiny_config(n_layers=n_layers, hidden_size=128, n_heads=4,
+                          ffn_hidden=256, max_context=8192)
+        builder = GraphBuilder(cfg, REDMI_K70_PRO)
+        profiles = {
+            l: ShadowProfile(pruned=pruned) for l in range(n_layers)
+        }
+        plans = [builder.build_chunk(i, 64, profiles)
+                 for i in range(n_chunks)]
+        tasks = build_task_graph(plans)
+        trace = Simulator(["npu", "cpu"]).run(tasks, get_policy(policy))
+        trace.validate_serial()
+        assert len(trace.events) == len(tasks)
+        # the OOO policy never loses to serial execution
+        assert trace.makespan_s <= sum(t.duration_s for t in tasks) + 1e-9

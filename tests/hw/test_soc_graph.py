@@ -1,0 +1,86 @@
+"""Tests for device presets and NPU graph lifecycle costs."""
+
+import pytest
+
+from repro.errors import ConfigError, HardwareError
+from repro.hw import (
+    DType,
+    MatMulShape,
+    NpuGraphCostModel,
+    REDMI_K60_PRO,
+    REDMI_K70_PRO,
+    get_device,
+    graph_ops_for_model,
+    matmul_latency,
+)
+from repro.model import GEMMA_2B
+
+
+class TestDevicePresets:
+    def test_lookup(self):
+        assert get_device("redmi k70 pro") is REDMI_K70_PRO
+        with pytest.raises(ConfigError):
+            get_device("pixel 9")
+
+    def test_k60_uniformly_slower(self):
+        shape = MatMulShape(256, 2048, 2048)
+        for proc, dtype in (("npu", DType.INT8), ("cpu", DType.INT8),
+                            ("gpu", DType.FP16)):
+            fast = matmul_latency(REDMI_K70_PRO.processors[proc], shape, dtype)
+            slow = matmul_latency(REDMI_K60_PRO.processors[proc], shape, dtype)
+            assert slow > fast
+
+    def test_npu_lacks_per_group_support(self):
+        # Table 2: no mainstream mobile NPU supports per-group MatMul.
+        assert not REDMI_K70_PRO.npu.supports_per_group_matmul
+        assert REDMI_K70_PRO.cpu.supports_per_group_matmul
+
+    def test_scaled_validation(self):
+        with pytest.raises(ConfigError):
+            REDMI_K70_PRO.scaled("bad", "soc", cpu_gpu=0.0, npu=1.0,
+                                 dram_bytes=1)
+
+    def test_npu_supports_no_fp32(self):
+        assert not REDMI_K70_PRO.npu.supports(DType.FP32)
+        assert REDMI_K70_PRO.cpu.supports(DType.FP32)
+
+
+class TestNpuGraphCosts:
+    """Figure 2: build 300-500ms, optimize ~seconds for full models."""
+
+    def test_gemma_full_graph_matches_paper(self):
+        # Paper: Gemma-2B build 360 ms, optimize 11.54 s.
+        cost = NpuGraphCostModel()
+        n_ops = graph_ops_for_model(GEMMA_2B.n_layers)
+        assert cost.build_s(n_ops) == pytest.approx(0.360, rel=0.15)
+        assert cost.optimize_s(n_ops) == pytest.approx(11.54, rel=0.15)
+
+    def test_optimize_dominates_build(self):
+        cost = NpuGraphCostModel()
+        assert cost.optimize_s(100) > 10 * cost.build_s(100)
+
+    def test_prepare_sums_stages(self):
+        cost = NpuGraphCostModel()
+        assert cost.prepare_s(50) == pytest.approx(
+            cost.env_setup_s + cost.build_s(50) + cost.optimize_s(50)
+        )
+
+    def test_small_graphs_cheaper(self):
+        cost = NpuGraphCostModel()
+        assert cost.prepare_s(10) < cost.prepare_s(100)
+
+    def test_invalid_op_count(self):
+        with pytest.raises(HardwareError):
+            NpuGraphCostModel().build_s(0)
+        with pytest.raises(HardwareError):
+            graph_ops_for_model(0)
+
+    def test_rebuild_per_prompt_dwarfs_execution(self):
+        # §2.3: re-preparing the graph per prompt costs more than any
+        # plausible prefill execution — the reason naive NPU offload loses.
+        cost = NpuGraphCostModel()
+        n_ops = graph_ops_for_model(24)
+        prepare = cost.prepare_s(n_ops)
+        ffn = matmul_latency(REDMI_K70_PRO.npu,
+                             MatMulShape(1024, 2048, 5504), DType.INT8)
+        assert prepare > 100 * ffn

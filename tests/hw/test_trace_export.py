@@ -1,0 +1,60 @@
+"""Tests for Chrome-trace export."""
+
+import json
+import os
+
+from repro.hw.trace import Trace, TraceEvent
+
+
+def make_trace():
+    trace = Trace()
+    trace.add(TraceEvent("a", "npu", 0.0, 0.001, tag="sg1"))
+    trace.add(TraceEvent("b", "cpu", 0.0, 0.002, tag="sg2.float"))
+    trace.add(TraceEvent("c", "npu", 0.001, 0.003, tag="sg3"))
+    return trace
+
+
+class TestChromeTrace:
+    def test_one_complete_event_per_task(self):
+        events = make_trace().to_chrome_trace()
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+
+    def test_thread_metadata(self):
+        events = make_trace().to_chrome_trace()
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"cpu", "npu"}
+
+    def test_microsecond_timestamps(self):
+        events = make_trace().to_chrome_trace()
+        c = next(e for e in events if e.get("name") == "c")
+        assert c["ts"] == 1000.0
+        assert c["dur"] == 2000.0
+
+    def test_tids_match_processor(self):
+        events = make_trace().to_chrome_trace()
+        meta = {e["args"]["name"]: e["tid"]
+                for e in events if e["ph"] == "M"}
+        a = next(e for e in events if e.get("name") == "a")
+        assert a["tid"] == meta["npu"]
+
+    def test_save_is_valid_json(self, tmp_path):
+        path = os.path.join(tmp_path, "traces", "run.json")
+        make_trace().save_chrome_trace(path)
+        with open(path) as f:
+            data = json.load(f)
+        assert isinstance(data, list)
+        assert any(e.get("ph") == "X" for e in data)
+
+    def test_engine_trace_exports(self, tmp_path):
+        from repro.core import LlmNpuEngine
+        report = LlmNpuEngine.build(
+            "Qwen1.5-1.8B", "Redmi K70 Pro"
+        ).prefill(256)
+        path = os.path.join(tmp_path, "prefill.json")
+        report.trace.save_chrome_trace(path)
+        with open(path) as f:
+            events = json.load(f)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(report.trace.events)

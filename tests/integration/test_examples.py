@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs cleanly as __main__."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    ))),
+    "examples",
+)
+
+EXAMPLES = [
+    "quickstart.py",
+    "ui_automation.py",
+    "email_reply.py",
+    "chat_summary.py",
+    "custom_device.py",
+    "assistant_chat.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_examples_directory_complete():
+    present = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    # the quantization playground is covered by its own (slow) marker-less
+    # run below; everything listed must exist
+    for script in EXAMPLES + ["quantization_playground.py"]:
+        assert script in present
+
+
+@pytest.mark.slow
+def test_quantization_playground_runs(capsys):
+    path = os.path.join(EXAMPLES_DIR, "quantization_playground.py")
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "llm.npu" in out
+    assert "pruning" in out

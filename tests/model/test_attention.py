@@ -1,0 +1,131 @@
+"""Tests for causal attention with KV cache and GQA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.model.attention import (
+    AttentionBlock,
+    causal_attention,
+    merge_heads,
+    repeat_kv,
+    split_heads,
+)
+from repro.model.kv_cache import LayerKVCache
+
+
+class TestHeadReshaping:
+    def test_split_merge_roundtrip(self, rng):
+        x = rng.normal(size=(5, 12)).astype(np.float32)
+        assert np.array_equal(merge_heads(split_heads(x, 3)), x)
+
+    def test_split_rejects_indivisible(self):
+        with pytest.raises(ShapeError):
+            split_heads(np.zeros((2, 10)), 3)
+
+    def test_repeat_kv_identity_for_one(self, rng):
+        kv = rng.normal(size=(3, 2, 4))
+        assert repeat_kv(kv, 1) is kv
+
+    def test_repeat_kv_expands_heads(self, rng):
+        kv = rng.normal(size=(3, 2, 4))
+        out = repeat_kv(kv, 3)
+        assert out.shape == (3, 6, 4)
+        # each kv head is replicated in consecutive slots
+        np.testing.assert_array_equal(out[:, 0], out[:, 1])
+        np.testing.assert_array_equal(out[:, 0], out[:, 2])
+        np.testing.assert_array_equal(out[:, 3], out[:, 5])
+
+
+class TestCausalAttention:
+    def test_single_token_attends_to_itself_only(self, rng):
+        q = rng.normal(size=(1, 2, 4)).astype(np.float32)
+        k = rng.normal(size=(1, 2, 4)).astype(np.float32)
+        v = rng.normal(size=(1, 2, 4)).astype(np.float32)
+        out = causal_attention(q, k, v, np.array([0]))
+        np.testing.assert_allclose(out, v, rtol=1e-5)
+
+    def test_causality(self, rng):
+        # Output at position i must not change when future keys change.
+        q = rng.normal(size=(3, 2, 4)).astype(np.float32)
+        k = rng.normal(size=(3, 2, 4)).astype(np.float32)
+        v = rng.normal(size=(3, 2, 4)).astype(np.float32)
+        out1 = causal_attention(q, k, v, np.arange(3))
+        k2, v2 = k.copy(), v.copy()
+        k2[2] += 10.0
+        v2[2] -= 10.0
+        out2 = causal_attention(q, k2, v2, np.arange(3))
+        np.testing.assert_allclose(out1[:2], out2[:2], rtol=1e-5)
+        assert not np.allclose(out1[2], out2[2])
+
+    def test_chunked_equals_monolithic(self, rng):
+        # The core §3.2 equivalence at the attention level.
+        q = rng.normal(size=(6, 2, 4)).astype(np.float32)
+        k = rng.normal(size=(6, 2, 4)).astype(np.float32)
+        v = rng.normal(size=(6, 2, 4)).astype(np.float32)
+        whole = causal_attention(q, k, v, np.arange(6))
+        first = causal_attention(q[:3], k[:3], v[:3], np.arange(3))
+        second = causal_attention(q[3:], k, v, np.arange(3, 6))
+        np.testing.assert_allclose(whole, np.concatenate([first, second]),
+                                   rtol=1e-5)
+
+    def test_uniform_values_attend_to_average(self, rng):
+        # With identical keys, attention over j<=i averages the values.
+        q = rng.normal(size=(3, 1, 4)).astype(np.float32)
+        k = np.zeros((3, 1, 4), dtype=np.float32)
+        v = np.stack([np.full((1, 4), float(i)) for i in range(3)]).astype(
+            np.float32
+        )
+        out = causal_attention(q, k, v, np.arange(3))
+        np.testing.assert_allclose(out[0], 0.0, atol=1e-6)
+        np.testing.assert_allclose(out[1], 0.5, atol=1e-6)
+        np.testing.assert_allclose(out[2], 1.0, atol=1e-6)
+
+    def test_query_beyond_cache_raises(self, rng):
+        q = rng.normal(size=(1, 1, 4)).astype(np.float32)
+        k = rng.normal(size=(1, 1, 4)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            causal_attention(q, k, k, np.array([1]))
+
+    def test_shape_validation(self, rng):
+        q = rng.normal(size=(2, 1, 4)).astype(np.float32)
+        k = rng.normal(size=(2, 2, 4)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            causal_attention(q, k, k, np.arange(2))
+
+
+class TestAttentionBlock:
+    def test_gqa_matches_explicit_repeat(self, rng):
+        n_heads, kv_heads, dim = 4, 2, 8
+        block = AttentionBlock(n_heads, kv_heads, dim)
+        cache = LayerKVCache(kv_heads, dim)
+        q = rng.normal(size=(3, n_heads, dim)).astype(np.float32)
+        k = rng.normal(size=(3, kv_heads, dim)).astype(np.float32)
+        v = rng.normal(size=(3, kv_heads, dim)).astype(np.float32)
+        out = block(q, k, v, cache, np.arange(3))
+        expected = causal_attention(
+            q, repeat_kv(k, 2), repeat_kv(v, 2), np.arange(3)
+        )
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_incremental_decode_matches_prefill(self, rng):
+        n_heads, dim = 2, 4
+        block = AttentionBlock(n_heads, n_heads, dim)
+        q = rng.normal(size=(4, n_heads, dim)).astype(np.float32)
+        k = rng.normal(size=(4, n_heads, dim)).astype(np.float32)
+        v = rng.normal(size=(4, n_heads, dim)).astype(np.float32)
+
+        cache_a = LayerKVCache(n_heads, dim)
+        whole = block(q, k, v, cache_a, np.arange(4))
+
+        cache_b = LayerKVCache(n_heads, dim)
+        rows = [
+            block(q[i: i + 1], k[i: i + 1], v[i: i + 1], cache_b,
+                  np.array([i]))
+            for i in range(4)
+        ]
+        np.testing.assert_allclose(whole, np.concatenate(rows), rtol=1e-5)
+
+    def test_indivisible_heads_raise(self):
+        with pytest.raises(ShapeError):
+            AttentionBlock(4, 3, 8)

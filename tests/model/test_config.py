@@ -1,0 +1,136 @@
+"""Tests for model configurations and the paper presets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import (
+    GEMMA_2B,
+    LLAMA2_7B,
+    MISTRAL_7B,
+    PAPER_MODELS,
+    PHI2_27B,
+    QWEN15_18B,
+    ModelConfig,
+    get_model_config,
+    tiny_config,
+)
+
+
+class TestPresets:
+    def test_five_paper_models_registered(self):
+        assert len(PAPER_MODELS) == 5
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_model_config("qwen1.5-1.8b") is QWEN15_18B
+        assert get_model_config("GEMMA-2B") is GEMMA_2B
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ConfigError):
+            get_model_config("gpt-17")
+
+    @pytest.mark.parametrize("cfg,expected_billion,tol", [
+        (QWEN15_18B, 1.8, 0.25),
+        (GEMMA_2B, 2.5, 0.30),  # incl. 256k-vocab embeddings
+        (PHI2_27B, 2.7, 0.25),
+        (LLAMA2_7B, 6.7, 0.15),
+        (MISTRAL_7B, 7.2, 0.15),
+    ])
+    def test_param_count_matches_advertised_size(self, cfg, expected_billion, tol):
+        count = cfg.param_count(include_embeddings=True)
+        assert count == pytest.approx(expected_billion * 1e9, rel=tol)
+
+    def test_gemma_is_multi_query(self):
+        assert GEMMA_2B.kv_heads == 1
+        assert GEMMA_2B.dim_per_head == 256
+
+    def test_mistral_is_grouped_query(self):
+        assert MISTRAL_7B.kv_heads == 8
+        assert MISTRAL_7B.n_heads % MISTRAL_7B.kv_heads == 0
+
+    def test_phi2_uses_layernorm_ungated(self):
+        assert PHI2_27B.norm == "layernorm"
+        assert not PHI2_27B.gated_ffn
+
+    def test_max_context_matches_table1(self):
+        # Table 1 of the paper.
+        assert QWEN15_18B.max_context == 32768
+        assert GEMMA_2B.max_context == 8192
+        assert PHI2_27B.max_context == 2048
+
+
+class TestValidation:
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ConfigError):
+            tiny_config(hidden_size=0)
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ConfigError):
+            tiny_config(activation="swishplus")
+
+    def test_rejects_unknown_norm(self):
+        with pytest.raises(ConfigError):
+            tiny_config(norm="groupnorm")
+
+    def test_rejects_kv_heads_not_dividing(self):
+        with pytest.raises(ConfigError):
+            tiny_config(n_heads=4, n_kv_heads=3)
+
+    def test_rejects_indivisible_hidden(self):
+        with pytest.raises(ConfigError):
+            tiny_config(hidden_size=65, n_heads=4)
+
+    def test_explicit_head_dim_allows_indivisible_hidden(self):
+        cfg = tiny_config(hidden_size=65, n_heads=4, head_dim=16)
+        assert cfg.q_dim == 64
+
+
+class TestDerivedProperties:
+    def test_q_and_kv_dims(self):
+        cfg = tiny_config(hidden_size=64, n_heads=4, n_kv_heads=2)
+        assert cfg.q_dim == 64
+        assert cfg.kv_dim == 32
+
+    def test_weight_bytes_scaling(self):
+        cfg = tiny_config()
+        assert cfg.weight_bytes(8) * 2 == cfg.weight_bytes(16)
+        assert cfg.weight_bytes(8) == cfg.param_count(False)
+
+    def test_replace_returns_modified_copy(self):
+        cfg = tiny_config()
+        cfg2 = cfg.replace(n_layers=2)
+        assert cfg2.n_layers == 2
+        assert cfg.n_layers != 2
+
+    def test_param_count_gated_vs_ungated(self):
+        gated = tiny_config(gated_ffn=True)
+        ungated = tiny_config(gated_ffn=False)
+        diff = gated.param_count(False) - ungated.param_count(False)
+        assert diff == gated.n_layers * gated.hidden_size * gated.ffn_hidden
+
+
+class TestExtraPresets:
+    def test_lookup_finds_extras(self):
+        from repro.model import EXTRA_MODELS, PHI3_MINI, QWEN2_15B
+        from repro.model.config import get_model_config
+        assert get_model_config("qwen2-1.5b") is QWEN2_15B
+        assert get_model_config("PHI3-MINI-3.8B") is PHI3_MINI
+        assert len(EXTRA_MODELS) == 2
+
+    def test_extras_not_in_paper_five(self):
+        from repro.model import EXTRA_MODELS, PAPER_MODELS
+        assert not set(EXTRA_MODELS) & set(PAPER_MODELS)
+
+    def test_qwen2_is_gqa_with_long_context(self):
+        from repro.model import QWEN2_15B
+        assert QWEN2_15B.kv_heads == 2
+        assert QWEN2_15B.max_context == 32768  # Table 1
+
+    def test_phi3_context_128k(self):
+        from repro.model import PHI3_MINI
+        assert PHI3_MINI.max_context == 131072  # Table 1
+
+    def test_extras_run_through_engine(self):
+        from repro.core import LlmNpuEngine
+        engine = LlmNpuEngine.build("Qwen2-1.5B", "Redmi K70 Pro",
+                                    max_chunks=2)
+        assert engine.prefill(300).latency_s > 0

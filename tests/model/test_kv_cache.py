@@ -1,0 +1,99 @@
+"""Tests for the KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.model.kv_cache import KVCache, LayerKVCache
+
+
+def rand_kv(rng, n, heads=2, dim=4):
+    return (rng.normal(size=(n, heads, dim)).astype(np.float32),
+            rng.normal(size=(n, heads, dim)).astype(np.float32))
+
+
+class TestLayerKVCache:
+    def test_starts_empty(self):
+        cache = LayerKVCache(2, 4)
+        assert len(cache) == 0
+        assert cache.keys.shape == (0, 2, 4)
+
+    def test_append_accumulates(self, rng):
+        cache = LayerKVCache(2, 4)
+        k1, v1 = rand_kv(rng, 3)
+        k2, v2 = rand_kv(rng, 5)
+        cache.append(k1, v1)
+        cache.append(k2, v2)
+        assert len(cache) == 8
+        np.testing.assert_array_equal(cache.keys[:3], k1)
+        np.testing.assert_array_equal(cache.keys[3:], k2)
+        np.testing.assert_array_equal(cache.values[3:], v2)
+
+    def test_growth_beyond_initial_capacity(self, rng):
+        cache = LayerKVCache(2, 4, capacity=2)
+        for _ in range(10):
+            cache.append(*rand_kv(rng, 7))
+        assert len(cache) == 70
+
+    def test_rejects_wrong_head_shape(self, rng):
+        cache = LayerKVCache(2, 4)
+        k, v = rand_kv(rng, 3, heads=3)
+        with pytest.raises(ShapeError):
+            cache.append(k, v)
+
+    def test_rejects_mismatched_kv(self, rng):
+        cache = LayerKVCache(2, 4)
+        k, _ = rand_kv(rng, 3)
+        _, v = rand_kv(rng, 4)
+        with pytest.raises(ShapeError):
+            cache.append(k, v)
+
+    def test_truncate(self, rng):
+        cache = LayerKVCache(2, 4)
+        k, v = rand_kv(rng, 6)
+        cache.append(k, v)
+        cache.truncate(2)
+        assert len(cache) == 2
+        np.testing.assert_array_equal(cache.keys, k[:2])
+
+    def test_truncate_out_of_range_raises(self, rng):
+        cache = LayerKVCache(2, 4)
+        cache.append(*rand_kv(rng, 3))
+        with pytest.raises(ShapeError):
+            cache.truncate(4)
+        with pytest.raises(ShapeError):
+            cache.truncate(-1)
+
+    def test_nbytes_counts_live_entries_only(self, rng):
+        cache = LayerKVCache(2, 4, capacity=100)
+        cache.append(*rand_kv(rng, 3))
+        assert cache.nbytes() == 3 * 2 * 4 * 4 * 2
+
+
+class TestKVCache:
+    def test_for_config(self, tiny_cfg):
+        cache = KVCache.for_config(tiny_cfg)
+        assert len(cache.layers) == tiny_cfg.n_layers
+        assert cache[0].kv_heads == tiny_cfg.kv_heads
+
+    def test_len_tracks_positions(self, rng, tiny_cfg):
+        cache = KVCache.for_config(tiny_cfg)
+        heads, dim = tiny_cfg.kv_heads, tiny_cfg.dim_per_head
+        for layer in cache.layers:
+            layer.append(*rand_kv(rng, 5, heads=heads, dim=dim))
+        assert len(cache) == 5
+
+    def test_truncate_all_layers(self, rng, tiny_cfg):
+        cache = KVCache.for_config(tiny_cfg)
+        heads, dim = tiny_cfg.kv_heads, tiny_cfg.dim_per_head
+        for layer in cache.layers:
+            layer.append(*rand_kv(rng, 5, heads=heads, dim=dim))
+        cache.truncate(1)
+        assert all(len(layer) == 1 for layer in cache.layers)
+
+    def test_nbytes_sums_layers(self, rng, tiny_cfg):
+        cache = KVCache.for_config(tiny_cfg)
+        heads, dim = tiny_cfg.kv_heads, tiny_cfg.dim_per_head
+        for layer in cache.layers:
+            layer.append(*rand_kv(rng, 2, heads=heads, dim=dim))
+        assert cache.nbytes() == tiny_cfg.n_layers * cache[0].nbytes()

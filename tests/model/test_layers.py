@@ -1,0 +1,148 @@
+"""Tests for the numpy layer primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.model.layers import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    RMSNorm,
+    gelu,
+    get_activation,
+    make_norm,
+    relu,
+    silu,
+    softmax,
+)
+
+
+class TestActivations:
+    def test_silu_at_zero(self):
+        assert silu(np.array([0.0]))[0] == 0.0
+
+    def test_silu_large_positive_is_identity(self):
+        x = np.array([20.0])
+        assert silu(x)[0] == pytest.approx(20.0, rel=1e-6)
+
+    def test_gelu_at_zero(self):
+        assert gelu(np.array([0.0]))[0] == 0.0
+
+    def test_gelu_monotone_on_positives(self):
+        x = np.linspace(0, 5, 50)
+        y = gelu(x)
+        assert np.all(np.diff(y) > 0)
+
+    def test_relu_clamps_negatives(self):
+        assert np.array_equal(relu(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_get_activation_unknown_raises(self):
+        with pytest.raises(ShapeError):
+            get_activation("mish")
+
+    @given(st.floats(-30, 30))
+    def test_silu_bounded_below(self, v):
+        # silu(x) >= -0.2785 (its global minimum)
+        assert silu(np.array([v]))[0] >= -0.2785
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(5, 9))
+        s = softmax(x)
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, rtol=1e-6)
+
+    def test_handles_large_logits(self):
+        s = softmax(np.array([1000.0, 1000.0]))
+        np.testing.assert_allclose(s, [0.5, 0.5])
+
+    def test_neg_inf_gets_zero_probability(self):
+        s = softmax(np.array([0.0, -np.inf]))
+        assert s[1] == 0.0
+        assert s[0] == 1.0
+
+
+class TestLinear:
+    def test_matches_manual_matmul(self, rng):
+        w = rng.normal(size=(6, 4)).astype(np.float32)
+        b = rng.normal(size=6).astype(np.float32)
+        lin = Linear(w, b)
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_allclose(lin(x), x @ w.T + b, rtol=1e-5)
+
+    def test_rejects_bad_weight_ndim(self):
+        with pytest.raises(ShapeError):
+            Linear(np.zeros(3))
+
+    def test_rejects_mismatched_bias(self):
+        with pytest.raises(ShapeError):
+            Linear(np.zeros((2, 3)), bias=np.zeros(3))
+
+    def test_rejects_wrong_input_width(self):
+        lin = Linear(np.zeros((2, 3), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            lin(np.zeros((1, 4)))
+
+    def test_feature_properties(self):
+        lin = Linear(np.zeros((2, 3), dtype=np.float32))
+        assert lin.in_features == 3
+        assert lin.out_features == 2
+
+
+class TestNorms:
+    def test_rmsnorm_unit_rms_output(self, rng):
+        norm = RMSNorm(np.ones(16, dtype=np.float32))
+        x = rng.normal(size=(4, 16)).astype(np.float32) * 3.0
+        y = norm(x)
+        rms = np.sqrt(np.mean(y * y, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-3)
+
+    def test_rmsnorm_gain_scales_channels(self, rng):
+        gain = np.ones(8, dtype=np.float32)
+        gain[3] = 5.0
+        norm = RMSNorm(gain)
+        x = np.ones((1, 8), dtype=np.float32)
+        y = norm(x)
+        assert y[0, 3] == pytest.approx(5.0 * y[0, 0], rel=1e-5)
+
+    def test_layernorm_zero_mean_unit_var(self, rng):
+        norm = LayerNorm(np.ones(16, dtype=np.float32),
+                         np.zeros(16, dtype=np.float32))
+        x = rng.normal(size=(4, 16)).astype(np.float32) * 2 + 7
+        y = norm(x)
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(y.var(axis=-1), 1.0, rtol=1e-2)
+
+    def test_make_norm_dispatch(self):
+        assert isinstance(make_norm("rmsnorm", 4), RMSNorm)
+        assert isinstance(make_norm("layernorm", 4), LayerNorm)
+        with pytest.raises(ShapeError):
+            make_norm("batchnorm", 4)
+
+    def test_norm_width_mismatch_raises(self):
+        norm = make_norm("rmsnorm", 4)
+        with pytest.raises(ShapeError):
+            norm(np.zeros((2, 5)))
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        table = rng.normal(size=(10, 4)).astype(np.float32)
+        emb = Embedding(table)
+        out = emb(np.array([2, 7]))
+        np.testing.assert_array_equal(out, table[[2, 7]])
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(np.zeros((5, 2), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            emb(np.array([5]))
+        with pytest.raises(ShapeError):
+            emb(np.array([-1]))
+
+    def test_properties(self):
+        emb = Embedding(np.zeros((5, 2), dtype=np.float32))
+        assert emb.vocab_size == 5
+        assert emb.hidden_size == 2

@@ -1,0 +1,65 @@
+"""Tests for model checkpoint serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model import build_synthetic_model, tiny_config
+from repro.model.io import load_model, save_model
+from repro.quant import quantize_model
+
+
+class TestRoundTrip:
+    def test_logits_bit_exact(self, tmp_path, rng):
+        cfg = tiny_config()
+        model = build_synthetic_model(cfg, seed=5)
+        path = os.path.join(tmp_path, "model.npz")
+        save_model(model, path)
+        loaded = load_model(path)
+        ids = rng.integers(4, cfg.vocab_size, size=20)
+        np.testing.assert_array_equal(model.prefill(ids),
+                                      loaded.prefill(ids))
+
+    def test_config_preserved(self, tmp_path):
+        cfg = tiny_config(n_heads=4, n_kv_heads=2, activation="gelu")
+        model = build_synthetic_model(cfg, seed=5)
+        path = os.path.join(tmp_path, "model.npz")
+        save_model(model, path)
+        assert load_model(path).config == cfg
+
+    def test_layernorm_variant(self, tmp_path, rng):
+        cfg = tiny_config(norm="layernorm", gated_ffn=False,
+                          activation="gelu")
+        model = build_synthetic_model(cfg, seed=5)
+        path = os.path.join(tmp_path, "model.npz")
+        save_model(model, path)
+        ids = rng.integers(4, cfg.vocab_size, size=12)
+        np.testing.assert_array_equal(model.prefill(ids),
+                                      load_model(path).prefill(ids))
+
+    def test_quantized_model_rejected(self, tmp_path, rng):
+        cfg = tiny_config()
+        model = build_synthetic_model(cfg, seed=5)
+        corpus = [rng.integers(4, cfg.vocab_size, size=16)]
+        quantize_model(model, "per-tensor", calib_corpus=corpus)
+        with pytest.raises(ModelError):
+            save_model(model, os.path.join(tmp_path, "bad.npz"))
+
+    def test_non_checkpoint_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "junk.npz")
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ModelError):
+            load_model(path)
+
+    def test_loaded_model_quantizes(self, tmp_path, rng):
+        # the full pipeline: save reference -> load -> quantize the copy
+        cfg = tiny_config()
+        model = build_synthetic_model(cfg, seed=5)
+        path = os.path.join(tmp_path, "model.npz")
+        save_model(model, path)
+        loaded = load_model(path)
+        corpus = [rng.integers(4, cfg.vocab_size, size=16)]
+        report = quantize_model(loaded, "llm.npu", calib_corpus=corpus)
+        assert report.n_sites > 0

@@ -1,0 +1,85 @@
+"""Tests for rotary positional embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.model.rope import apply_rope, rope_angles, rope_frequencies
+
+
+class TestFrequencies:
+    def test_shape(self):
+        assert rope_frequencies(16).shape == (8,)
+
+    def test_first_frequency_is_one(self):
+        assert rope_frequencies(16)[0] == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        f = rope_frequencies(32)
+        assert np.all(np.diff(f) < 0)
+
+    def test_odd_dim_raises(self):
+        with pytest.raises(ShapeError):
+            rope_frequencies(7)
+
+
+class TestApplyRope:
+    def test_position_zero_is_identity(self, rng):
+        x = rng.normal(size=(1, 2, 8)).astype(np.float32)
+        y = apply_rope(x, np.array([0]))
+        np.testing.assert_allclose(y, x, atol=1e-6)
+
+    def test_norm_preserved(self, rng):
+        # Rotation preserves the L2 norm of every (even, odd) pair.
+        x = rng.normal(size=(5, 3, 16)).astype(np.float32)
+        y = apply_rope(x, np.arange(5))
+        np.testing.assert_allclose(
+            np.linalg.norm(x, axis=-1), np.linalg.norm(y, axis=-1), rtol=1e-5
+        )
+
+    def test_relative_property(self, rng):
+        # <RoPE(q,m), RoPE(k,n)> depends only on m-n.
+        q = rng.normal(size=(1, 1, 8)).astype(np.float32)
+        k = rng.normal(size=(1, 1, 8)).astype(np.float32)
+        def score(m, n):
+            qm = apply_rope(q, np.array([m]))[0, 0]
+            kn = apply_rope(k, np.array([n]))[0, 0]
+            return float(qm @ kn)
+        assert score(5, 3) == pytest.approx(score(12, 10), rel=1e-4)
+        assert score(5, 3) == pytest.approx(score(102, 100), rel=1e-4)
+
+    def test_absolute_positions_enable_chunking(self, rng):
+        # Rotating rows [0..5] at once equals rotating [0..2] and [3..5]
+        # separately with absolute positions — the §3.2 chunking invariant.
+        x = rng.normal(size=(6, 2, 8)).astype(np.float32)
+        whole = apply_rope(x, np.arange(6))
+        part1 = apply_rope(x[:3], np.arange(0, 3))
+        part2 = apply_rope(x[3:], np.arange(3, 6))
+        np.testing.assert_allclose(whole, np.concatenate([part1, part2]),
+                                   atol=1e-6)
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(ShapeError):
+            apply_rope(np.zeros((3, 8)), np.arange(3))
+
+    def test_bad_positions_raises(self):
+        with pytest.raises(ShapeError):
+            apply_rope(np.zeros((3, 1, 8)), np.arange(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 500), st.integers(2, 16))
+    def test_rotation_is_invertible(self, pos, half_dim):
+        # Applying the rotation at -pos undoes the rotation at +pos.
+        dim = half_dim * 2
+        rng = np.random.default_rng(pos + dim)
+        x = rng.normal(size=(1, 1, dim)).astype(np.float32)
+        fwd = apply_rope(x, np.array([pos]))
+        cos, sin = rope_angles(np.array([pos]), dim)
+        # Inverse rotation: swap sin sign.
+        even, odd = fwd[..., 0::2], fwd[..., 1::2]
+        inv = np.empty_like(fwd)
+        inv[..., 0::2] = even * cos[:, None, :] + odd * sin[:, None, :]
+        inv[..., 1::2] = -even * sin[:, None, :] + odd * cos[:, None, :]
+        np.testing.assert_allclose(inv, x, atol=1e-4)

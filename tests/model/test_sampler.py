@@ -1,0 +1,76 @@
+"""Tests for samplers and end-to-end generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.sampler import generate, greedy, top_k, top_p
+
+
+class TestGreedy:
+    def test_picks_argmax(self):
+        assert greedy(np.array([0.1, 3.0, -1.0])) == 1
+
+
+class TestTopK:
+    def test_k1_equals_greedy(self, rng):
+        logits = rng.normal(size=20)
+        assert top_k(logits, 1, rng) == greedy(logits)
+
+    def test_samples_within_top_k(self, rng):
+        logits = np.array([10.0, 9.0, -50.0, -50.0])
+        for _ in range(20):
+            assert top_k(logits, 2, rng) in (0, 1)
+
+    def test_k_larger_than_vocab_is_clamped(self, rng):
+        logits = np.array([1.0, 2.0])
+        assert top_k(logits, 10, rng) in (0, 1)
+
+    def test_invalid_k_raises(self, rng):
+        with pytest.raises(ModelError):
+            top_k(np.zeros(4), 0, rng)
+
+    def test_invalid_temperature_raises(self, rng):
+        with pytest.raises(ModelError):
+            top_k(np.zeros(4), 2, rng, temperature=0.0)
+
+
+class TestTopP:
+    def test_tiny_p_equals_greedy(self, rng):
+        logits = np.array([5.0, 1.0, 0.0])
+        assert top_p(logits, 1e-9, rng) == 0
+
+    def test_p_one_can_sample_anything(self, rng):
+        logits = np.zeros(3)
+        seen = {top_p(logits, 1.0, rng) for _ in range(100)}
+        assert seen == {0, 1, 2}
+
+    def test_invalid_p_raises(self, rng):
+        with pytest.raises(ModelError):
+            top_p(np.zeros(3), 0.0, rng)
+        with pytest.raises(ModelError):
+            top_p(np.zeros(3), 1.5, rng)
+
+
+class TestGenerate:
+    def test_generates_requested_tokens(self, tiny_model, prompt_ids):
+        out = generate(tiny_model, prompt_ids, max_new_tokens=5)
+        assert out.shape == (5,)
+        assert np.all(out >= 0)
+
+    def test_chunked_prefill_same_greedy_output(self, tiny_model, prompt_ids):
+        a = generate(tiny_model, prompt_ids, 4)
+        b = generate(tiny_model, prompt_ids, 4, chunk_len=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_eos_stops_generation(self, tiny_model, prompt_ids):
+        first = int(generate(tiny_model, prompt_ids, 1)[0])
+        out = generate(tiny_model, prompt_ids, 10, eos_token=first)
+        assert out.shape == (1,)
+
+    def test_zero_tokens(self, tiny_model, prompt_ids):
+        assert generate(tiny_model, prompt_ids, 0).shape == (0,)
+
+    def test_negative_raises(self, tiny_model, prompt_ids):
+        with pytest.raises(ModelError):
+            generate(tiny_model, prompt_ids, -1)

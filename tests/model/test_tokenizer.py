@@ -1,0 +1,60 @@
+"""Tests for the toy tokenizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.model.tokenizer import ToyTokenizer
+
+
+class TestToyTokenizer:
+    def test_deterministic(self):
+        tok = ToyTokenizer()
+        text = "forward the unread emails to Alice"
+        assert tok.encode(text) == tok.encode(text)
+
+    def test_bos_prefix(self):
+        tok = ToyTokenizer()
+        assert tok.encode("hi")[0] == ToyTokenizer.BOS
+        assert tok.encode("hi", add_bos=False)[0] != ToyTokenizer.BOS
+
+    def test_ids_within_vocab(self):
+        tok = ToyTokenizer(vocab_size=100)
+        ids = tok.encode("the quick brown fox jumps over the lazy dog")
+        assert all(0 <= t < 100 for t in ids)
+
+    def test_long_words_split_into_pieces(self):
+        tok = ToyTokenizer()
+        short = tok.encode("cat", add_bos=False)
+        long = tok.encode("supercalifragilistic", add_bos=False)
+        assert len(short) == 1
+        assert len(long) == 5  # 20 chars / 4 per piece
+
+    def test_count_matches_encode(self):
+        tok = ToyTokenizer()
+        text = "automated email reply with history"
+        assert tok.count(text) == len(tok.encode(text))
+
+    def test_decode_skips_bos_and_stops_at_eos(self):
+        tok = ToyTokenizer()
+        text = tok.decode([ToyTokenizer.BOS, 10, ToyTokenizer.EOS, 11])
+        assert text == "tok10"
+
+    def test_tiny_vocab_rejected(self):
+        with pytest.raises(WorkloadError):
+            ToyTokenizer(vocab_size=4)
+
+    def test_different_words_usually_differ(self):
+        tok = ToyTokenizer()
+        ids = {tok.encode(w, add_bos=False)[0]
+               for w in ("cat", "dog", "bird", "fish", "mouse")}
+        assert len(ids) >= 4  # hashing may collide but rarely
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Zs")),
+                   max_size=80))
+    def test_encode_never_crashes_and_stays_in_range(self, text):
+        tok = ToyTokenizer(vocab_size=500)
+        ids = tok.encode(text)
+        assert all(0 <= t < 500 for t in ids)

@@ -1,0 +1,174 @@
+"""Tests for the full decoder model, including the chunked-prefill invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError, ShapeError
+from repro.model import (
+    LINEAR_SITES,
+    OutlierSpec,
+    build_synthetic_model,
+    tiny_config,
+)
+from repro.model.layers import Linear
+
+
+class TestForward:
+    def test_logit_shape(self, tiny_model, prompt_ids):
+        logits = tiny_model.prefill(prompt_ids)
+        assert logits.shape == (len(prompt_ids), tiny_model.config.vocab_size)
+
+    def test_logits_finite(self, tiny_model, prompt_ids):
+        assert np.all(np.isfinite(tiny_model.prefill(prompt_ids)))
+
+    def test_deterministic(self, tiny_model, prompt_ids):
+        a = tiny_model.prefill(prompt_ids)
+        b = tiny_model.prefill(prompt_ids)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_2d_tokens(self, tiny_model):
+        with pytest.raises(ShapeError):
+            tiny_model.prefill(np.zeros((2, 3), dtype=np.int64))
+
+    def test_context_overflow_raises(self, tiny_cfg):
+        model = build_synthetic_model(tiny_cfg.replace(max_context=8))
+        with pytest.raises(ModelError):
+            model.prefill(np.arange(9) + 4)
+
+    def test_cache_grows_with_forward(self, tiny_model, prompt_ids):
+        cache = tiny_model.new_cache()
+        tiny_model.prefill(prompt_ids, cache)
+        assert len(cache) == len(prompt_ids)
+
+
+class TestChunkedPrefill:
+    """§3.2: chunk-wise prefill must reproduce monolithic prefill."""
+
+    @pytest.mark.parametrize("chunk_len", [1, 2, 3, 7, 24, 100])
+    def test_equivalence_across_chunk_sizes(self, tiny_model, prompt_ids,
+                                            chunk_len):
+        whole = tiny_model.prefill(prompt_ids)
+        chunked = tiny_model.prefill_chunked(prompt_ids, chunk_len)
+        np.testing.assert_allclose(whole, chunked, rtol=1e-4, atol=1e-4)
+
+    def test_equivalence_with_mqa(self, rng):
+        cfg = tiny_config(n_heads=4, n_kv_heads=1)
+        model = build_synthetic_model(cfg, seed=3)
+        ids = rng.integers(4, cfg.vocab_size, size=17)
+        np.testing.assert_allclose(
+            model.prefill(ids), model.prefill_chunked(ids, 5),
+            rtol=1e-4, atol=1e-4,
+        )
+
+    def test_equivalence_with_layernorm_ungated(self, rng):
+        cfg = tiny_config(norm="layernorm", gated_ffn=False,
+                          activation="gelu")
+        model = build_synthetic_model(cfg, seed=3)
+        ids = rng.integers(4, cfg.vocab_size, size=11)
+        np.testing.assert_allclose(
+            model.prefill(ids), model.prefill_chunked(ids, 4),
+            rtol=1e-4, atol=1e-4,
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(length=st.integers(1, 40), chunk=st.integers(1, 41),
+           seed=st.integers(0, 5))
+    def test_equivalence_property(self, tiny_model, length, chunk, seed):
+        ids = np.random.default_rng(seed).integers(
+            4, tiny_model.config.vocab_size, size=length
+        )
+        whole = tiny_model.prefill(ids)
+        chunked = tiny_model.prefill_chunked(ids, chunk)
+        np.testing.assert_allclose(whole, chunked, rtol=1e-3, atol=1e-3)
+
+    def test_zero_chunk_raises(self, tiny_model, prompt_ids):
+        with pytest.raises(ModelError):
+            tiny_model.prefill_chunked(prompt_ids, 0)
+
+    def test_empty_prompt(self, tiny_model):
+        out = tiny_model.prefill_chunked(np.array([], dtype=np.int64), 4)
+        assert out.shape == (0, tiny_model.config.vocab_size)
+
+
+class TestDecode:
+    def test_decode_continues_prefill(self, tiny_model, prompt_ids):
+        # decode_step(t) after prefill == prefill of prompt+[t] last row
+        cache = tiny_model.new_cache()
+        tiny_model.prefill(prompt_ids, cache)
+        step_logits = tiny_model.decode_step(5, cache)
+        full = tiny_model.prefill(np.concatenate([prompt_ids, [5]]))
+        np.testing.assert_allclose(step_logits, full[-1], rtol=1e-4, atol=1e-4)
+
+    def test_decode_extends_cache(self, tiny_model, prompt_ids):
+        cache = tiny_model.new_cache()
+        tiny_model.prefill(prompt_ids, cache)
+        tiny_model.decode_step(5, cache)
+        assert len(cache) == len(prompt_ids) + 1
+
+
+class TestHooksAndIntrospection:
+    def test_hook_sees_every_linear_site(self, tiny_model, prompt_ids):
+        seen = set()
+        tiny_model.prefill(prompt_ids,
+                           hook=lambda i, name, x: seen.add(name))
+        expected = set(LINEAR_SITES)
+        if not tiny_model.config.gated_ffn:
+            expected.discard("w_gate")
+        assert seen == expected
+
+    def test_hook_activation_shapes(self, tiny_model, prompt_ids):
+        records = []
+        tiny_model.prefill(
+            prompt_ids, hook=lambda i, name, x: records.append((name, x.shape))
+        )
+        h = tiny_model.config.hidden_size
+        for name, shape in records:
+            if name in ("wq", "wk", "wv", "w_up", "w_gate"):
+                assert shape == (len(prompt_ids), h)
+
+    def test_iter_linears_counts(self, tiny_model):
+        count = sum(1 for _ in tiny_model.iter_linears())
+        per_layer = 7 if tiny_model.config.gated_ffn else 6
+        assert count == tiny_model.config.n_layers * per_layer
+
+    def test_replace_linear_swaps_operator(self, fresh_tiny_model, prompt_ids):
+        model = fresh_tiny_model
+        base = model.prefill(prompt_ids)
+        old = model.layers[0].weights.wq
+        zero = Linear(np.zeros_like(old.weight), name="zeroed")
+        model.replace_linear(0, "wq", zero)
+        changed = model.prefill(prompt_ids)
+        assert not np.allclose(base, changed)
+
+    def test_replace_unknown_site_raises(self, fresh_tiny_model):
+        with pytest.raises(ModelError):
+            fresh_tiny_model.replace_linear(0, "w_bogus", lambda x: x)
+
+
+class TestSyntheticStructure:
+    def test_outlier_model_has_larger_activation_peaks(self, tiny_cfg,
+                                                       prompt_ids):
+        spec_on = OutlierSpec(hot_gain=10.0)
+        spec_off = OutlierSpec(enabled=False)
+        peaks = {}
+        for key, spec in (("on", spec_on), ("off", spec_off)):
+            model = build_synthetic_model(tiny_cfg, seed=7, outliers=spec)
+            peak = 0.0
+            def hook(i, name, x):
+                nonlocal peak
+                peak = max(peak, float(np.abs(x).max()))
+            model.prefill(prompt_ids, hook=hook)
+            peaks[key] = peak
+        assert peaks["on"] > 2.0 * peaks["off"]
+
+    def test_seed_reproducibility(self, tiny_cfg, prompt_ids):
+        a = build_synthetic_model(tiny_cfg, seed=11).prefill(prompt_ids)
+        b = build_synthetic_model(tiny_cfg, seed=11).prefill(prompt_ids)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, tiny_cfg, prompt_ids):
+        a = build_synthetic_model(tiny_cfg, seed=1).prefill(prompt_ids)
+        b = build_synthetic_model(tiny_cfg, seed=2).prefill(prompt_ids)
+        assert not np.allclose(a, b)

@@ -1,0 +1,149 @@
+"""Tests for model-level quantization and the accuracy ordering (Table 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.model import build_synthetic_model, tiny_config
+from repro.quant import (
+    SCHEMES,
+    ShadowOutlierLinear,
+    quantize_model,
+    top1_agreement,
+)
+from repro.quant.api import auto_channel_percentile
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = tiny_config(n_layers=8)
+    rng = np.random.default_rng(42)
+    corpus = [rng.integers(4, cfg.vocab_size, size=24) for _ in range(5)]
+    test = [rng.integers(4, cfg.vocab_size, size=24) for _ in range(3)]
+    ref = build_synthetic_model(cfg, seed=7)
+    ref_logits = np.concatenate([ref.prefill(ids) for ids in test])
+    return cfg, corpus, test, ref_logits
+
+
+def quantized_agreement(setup, scheme, **kwargs):
+    cfg, corpus, test, ref_logits = setup
+    model = build_synthetic_model(cfg, seed=7)
+    report = quantize_model(model, scheme, calib_corpus=corpus, **kwargs)
+    logits = np.concatenate([model.prefill(ids) for ids in test])
+    return top1_agreement(ref_logits, logits), report
+
+
+class TestQuantizeModel:
+    def test_unknown_scheme_raises(self, setup):
+        cfg, corpus, _, _ = setup
+        model = build_synthetic_model(cfg, seed=7)
+        with pytest.raises(QuantizationError):
+            quantize_model(model, "int3", calib_corpus=corpus)
+
+    def test_missing_calibration_raises(self, setup):
+        cfg, _, _, _ = setup
+        model = build_synthetic_model(cfg, seed=7)
+        with pytest.raises(QuantizationError):
+            quantize_model(model, "llm.npu")
+
+    def test_fp16_needs_no_calibration(self, setup):
+        cfg, _, _, _ = setup
+        model = build_synthetic_model(cfg, seed=7)
+        report = quantize_model(model, "fp16")
+        assert report.scheme == "fp16"
+
+    def test_double_quantization_rejected(self, setup):
+        cfg, corpus, _, _ = setup
+        model = build_synthetic_model(cfg, seed=7)
+        quantize_model(model, "per-tensor", calib_corpus=corpus)
+        with pytest.raises(QuantizationError):
+            quantize_model(model, "per-tensor", calib_corpus=corpus)
+
+    def test_all_sites_replaced(self, setup):
+        cfg, corpus, _, _ = setup
+        model = build_synthetic_model(cfg, seed=7)
+        report = quantize_model(model, "llm.npu", calib_corpus=corpus)
+        per_layer = 7 if cfg.gated_ffn else 6
+        assert report.n_sites == cfg.n_layers * per_layer
+        for _, _, op in model.iter_linears():
+            assert isinstance(op, ShadowOutlierLinear)
+
+    def test_weight_bytes_positive_and_ordered(self, setup):
+        _, fp16_report = quantized_agreement(setup, "fp16")
+        _, pt_report = quantized_agreement(setup, "per-tensor")
+        assert 0 < pt_report.weight_bytes < fp16_report.weight_bytes
+
+    def test_report_shadow_sites(self, setup):
+        _, report = quantized_agreement(setup, "llm.npu")
+        assert len(report.shadow_sites()) == report.n_sites
+
+    def test_calibration_reuse(self, setup):
+        cfg, corpus, test, ref_logits = setup
+        model = build_synthetic_model(cfg, seed=7)
+        report1 = quantize_model(model, "llm.npu", calib_corpus=corpus)
+        model2 = build_synthetic_model(cfg, seed=7)
+        report2 = quantize_model(model2, "llm.npu",
+                                 calibration=report1.calibration)
+        a = np.concatenate([model.prefill(ids) for ids in test])
+        b = np.concatenate([model2.prefill(ids) for ids in test])
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-5)
+
+
+class TestAccuracyOrdering:
+    """The Table 6 story on the synthetic substrate."""
+
+    def test_fp16_is_reference(self, setup):
+        acc, _ = quantized_agreement(setup, "fp16")
+        assert acc > 0.99
+
+    def test_naive_per_tensor_is_worst(self, setup):
+        pt, _ = quantized_agreement(setup, "per-tensor")
+        for scheme in ("per-group", "llm.int8", "awq"):
+            other, _ = quantized_agreement(setup, scheme)
+            assert other > pt
+
+    def test_llm_npu_beats_per_tensor_and_smoothquant(self, setup):
+        ours, _ = quantized_agreement(setup, "llm.npu", pruning_rate=0.0)
+        pt, _ = quantized_agreement(setup, "per-tensor")
+        sq, _ = quantized_agreement(setup, "smoothquant")
+        assert ours > pt
+        assert ours >= sq
+
+    def test_llm_npu_near_llm_int8(self, setup):
+        ours, _ = quantized_agreement(setup, "llm.npu", pruning_rate=0.0)
+        int8, _ = quantized_agreement(setup, "llm.int8")
+        assert ours >= int8 - 0.08
+
+    def test_default_pruning_nearly_free(self, setup):
+        # Table 6 runs at the default 85% pruning with ~1% loss.
+        full, _ = quantized_agreement(setup, "llm.npu", pruning_rate=0.0)
+        # 8 layers: 0.75 prunes 6, keeping both important end layers.
+        pruned, _ = quantized_agreement(setup, "llm.npu", pruning_rate=0.75)
+        assert pruned >= full - 0.06
+
+    def test_full_pruning_hurts(self, setup):
+        # Fig. 16: pruning everything craters accuracy.
+        some, _ = quantized_agreement(setup, "llm.npu", pruning_rate=0.75)
+        everything, _ = quantized_agreement(setup, "llm.npu",
+                                            pruning_rate=1.0)
+        assert everything < some - 0.2
+
+    def test_pruning_plan_keeps_important_layers(self, setup):
+        _, report = quantized_agreement(setup, "llm.npu", pruning_rate=0.75)
+        plan = report.pruning_plan
+        kept_importance = min(plan.importance[l] for l in plan.kept_layers)
+        pruned_importance = max(
+            plan.importance[l] for l in plan.pruned_layers
+        )
+        assert kept_importance >= pruned_importance
+
+
+class TestAutoChannelPercentile:
+    def test_wide_model_close_to_995(self):
+        assert auto_channel_percentile(2048) == pytest.approx(99.5, abs=0.2)
+
+    def test_narrow_model_excludes_two_channels(self):
+        assert auto_channel_percentile(64) == pytest.approx(96.875)
+
+    def test_never_below_50(self):
+        assert auto_channel_percentile(2) >= 50.0

@@ -1,0 +1,97 @@
+"""Tests for outlier importance scoring and pruning plans (Fig. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.model import build_synthetic_model, tiny_config
+from repro.quant.importance import (
+    importance_profile,
+    make_pruning_plan,
+    rank_layers_by_importance,
+    u_shape_score,
+)
+from repro.quant.observers import calibrate
+
+
+@pytest.fixture(scope="module")
+def calib():
+    cfg = tiny_config(n_layers=12)
+    model = build_synthetic_model(cfg, seed=5)
+    rng = np.random.default_rng(9)
+    corpus = [rng.integers(4, cfg.vocab_size, size=24) for _ in range(5)]
+    return calibrate(model, corpus, channel_percentile=96.0)
+
+
+class TestPruningPlan:
+    def test_invalid_rate_raises(self, calib):
+        with pytest.raises(QuantizationError):
+            make_pruning_plan(calib, -0.1)
+        with pytest.raises(QuantizationError):
+            make_pruning_plan(calib, 1.1)
+
+    def test_rate_zero_keeps_all(self, calib):
+        plan = make_pruning_plan(calib, 0.0)
+        assert len(plan.pruned_layers) == 0
+        assert plan.n_layers == 12
+
+    def test_rate_one_prunes_all(self, calib):
+        plan = make_pruning_plan(calib, 1.0)
+        assert len(plan.kept_layers) == 0
+
+    def test_partition_is_exact(self, calib):
+        plan = make_pruning_plan(calib, 0.5)
+        assert plan.kept_layers | plan.pruned_layers == set(range(12))
+        assert not plan.kept_layers & plan.pruned_layers
+
+    def test_prunes_least_important_first(self, calib):
+        plan = make_pruning_plan(calib, 0.25)
+        for pruned in plan.pruned_layers:
+            for kept in plan.kept_layers:
+                assert plan.importance[pruned] <= plan.importance[kept]
+
+    def test_is_pruned(self, calib):
+        plan = make_pruning_plan(calib, 0.5)
+        for layer in plan.pruned_layers:
+            assert plan.is_pruned(layer)
+        for layer in plan.kept_layers:
+            assert not plan.is_pruned(layer)
+
+    def test_default_rate_keeps_end_layers(self, calib):
+        # The paper's observation: with the default pruning the layers
+        # near input and output survive.
+        plan = make_pruning_plan(calib, 0.8)
+        assert 0 in plan.kept_layers or 11 in plan.kept_layers
+
+
+class TestRankingAndProfile:
+    def test_rank_is_ascending(self, calib):
+        ranked = rank_layers_by_importance(calib)
+        imp = calib.layer_importance()
+        values = [imp[l] for l in ranked]
+        assert values == sorted(values)
+
+    def test_profile_shape(self, calib):
+        profile = importance_profile(calib)
+        assert profile.shape == (12,)
+        assert np.all(profile > 0)
+
+    def test_profile_is_u_shaped(self, calib):
+        # Fig. 12 left: ends dominate the middle.
+        assert u_shape_score(importance_profile(calib)) > 0.5
+
+
+class TestUShapeScore:
+    def test_flat_profile_scores_zero(self):
+        assert u_shape_score(np.ones(12)) == pytest.approx(0.0)
+
+    def test_u_profile_positive(self):
+        profile = np.array([5, 1, 1, 1, 1, 5], dtype=float)
+        assert u_shape_score(profile) > 0
+
+    def test_hill_profile_negative(self):
+        profile = np.array([1, 5, 5, 5, 5, 1], dtype=float)
+        assert u_shape_score(profile) < 0
+
+    def test_short_profile_scores_zero(self):
+        assert u_shape_score(np.array([1.0, 2.0])) == 0.0

@@ -1,0 +1,73 @@
+"""Tests for 4-bit per-group weight quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant.base import (
+    QuantizedTensor,
+    qmax_for_bits,
+    quantize_weight_per_group,
+)
+from repro.quant.per_group import PerGroupLinear
+
+
+class TestQmax:
+    def test_values(self):
+        assert qmax_for_bits(8) == 127
+        assert qmax_for_bits(4) == 7
+
+    def test_invalid(self):
+        with pytest.raises(QuantizationError):
+            qmax_for_bits(3)
+
+
+class TestInt4Weights:
+    def test_codes_in_range(self, rng):
+        w = rng.normal(size=(8, 32)).astype(np.float32)
+        qt = quantize_weight_per_group(w, 8, bits=4)
+        assert qt.data.min() >= -7
+        assert qt.data.max() <= 7
+        assert qt.bits == 4
+
+    def test_packed_size_half_of_int8(self, rng):
+        w = rng.normal(size=(8, 32)).astype(np.float32)
+        q8 = quantize_weight_per_group(w, 8, bits=8)
+        q4 = quantize_weight_per_group(w, 8, bits=4)
+        # identical scale storage, halved payload
+        assert q4.nbytes() == q8.nbytes() - w.size // 2
+
+    def test_int4_coarser_than_int8(self, rng):
+        w = rng.normal(size=(8, 64)).astype(np.float32)
+        q8 = quantize_weight_per_group(w, 16, bits=8)
+        q4 = quantize_weight_per_group(w, 16, bits=4)
+        err8 = np.abs(q8.dequantize() - w).mean()
+        err4 = np.abs(q4.dequantize() - w).mean()
+        assert err4 > 5 * err8
+
+    def test_invalid_bits_rejected(self, rng):
+        w = rng.normal(size=(4, 8)).astype(np.float32)
+        with pytest.raises(QuantizationError):
+            quantize_weight_per_group(w, 4, bits=2)
+        with pytest.raises(QuantizationError):
+            QuantizedTensor(np.zeros((2, 2), dtype=np.int8), 1.0, bits=5)
+
+
+class TestInt4Linear:
+    def test_runs_and_degrades_gracefully(self, rng):
+        w = rng.normal(size=(16, 32)).astype(np.float32)
+        x = rng.normal(size=(4, 32)).astype(np.float32)
+        ref = x @ w.T
+        lin8 = PerGroupLinear(w, group_size=8, weight_bits=8)
+        lin4 = PerGroupLinear(w, group_size=8, weight_bits=4)
+        err8 = np.linalg.norm(lin8(x) - ref)
+        err4 = np.linalg.norm(lin4(x) - ref)
+        assert err4 > err8
+        # still correlated with the reference
+        corr = np.corrcoef(lin4(x).ravel(), ref.ravel())[0, 1]
+        assert corr > 0.98
+
+    def test_weight_bytes_smaller(self, rng):
+        w = rng.normal(size=(16, 32)).astype(np.float32)
+        assert (PerGroupLinear(w, 8, weight_bits=4).weight_nbytes()
+                < PerGroupLinear(w, 8, weight_bits=8).weight_nbytes())

@@ -1,0 +1,248 @@
+"""Tests for the individual quantized linear operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant.awq import AwqLinear, awq_scales
+from repro.quant.llm_int8 import LlmInt8Linear
+from repro.quant.per_group import PerGroupLinear
+from repro.quant.per_tensor import PerTensorLinear
+from repro.quant.shadow import ShadowOutlierLinear
+from repro.quant.smoothquant import SmoothQuantLinear, smoothing_factors
+
+
+@pytest.fixture()
+def weight(rng):
+    return rng.normal(size=(24, 32)).astype(np.float32)
+
+
+@pytest.fixture()
+def x_normal(rng):
+    return rng.normal(size=(8, 32)).astype(np.float32)
+
+
+def x_with_outlier(rng, cols=(3,), gain=40.0):
+    x = rng.normal(size=(8, 32)).astype(np.float32)
+    for c in cols:
+        x[:, c] *= gain
+    return x
+
+
+def relative_error(ref, approx):
+    return float(np.linalg.norm(ref - approx) / (np.linalg.norm(ref) + 1e-12))
+
+
+class TestPerTensorLinear:
+    def test_accurate_without_outliers(self, weight, x_normal):
+        scale = float(np.abs(x_normal).max()) / 127.0
+        lin = PerTensorLinear(weight, scale)
+        ref = x_normal @ weight.T
+        assert relative_error(ref, lin(x_normal)) < 0.02
+
+    def test_outliers_destroy_precision(self, weight, rng):
+        # The same data quantized with an outlier-stretched scale loses far
+        # more precision than with an outlier-free scale: the naive scale
+        # crushes the ordinary values (the paper's §2.3 observation).
+        x_clean = x_with_outlier(rng, gain=1.0)
+        clean_scale = float(np.abs(x_clean).max()) / 127.0
+        stretched_scale = clean_scale * 40.0  # as if one column were 40x
+        ref = x_clean @ weight.T
+        err_clean = relative_error(ref, PerTensorLinear(weight, clean_scale)(x_clean))
+        err_naive = relative_error(
+            ref, PerTensorLinear(weight, stretched_scale)(x_clean)
+        )
+        assert err_naive > 10 * err_clean
+
+    def test_stats_recorded(self, weight, x_normal):
+        lin = PerTensorLinear(weight, 0.1)
+        lin(x_normal)
+        assert lin.stats.calls == 1
+        assert lin.stats.int8_macs == 8 * 32 * 24
+
+    def test_wrong_width_raises(self, weight):
+        lin = PerTensorLinear(weight, 0.1)
+        with pytest.raises(QuantizationError):
+            lin(np.zeros((2, 31)))
+
+    def test_bias_applied(self, weight, x_normal, rng):
+        bias = rng.normal(size=24).astype(np.float32)
+        scale = float(np.abs(x_normal).max()) / 127.0
+        with_bias = PerTensorLinear(weight, scale, bias=bias)
+        without = PerTensorLinear(weight, scale)
+        np.testing.assert_allclose(
+            with_bias(x_normal) - without(x_normal),
+            np.broadcast_to(bias, (8, 24)), rtol=1e-5,
+        )
+
+
+class TestPerGroupLinear:
+    def test_robust_to_column_outliers(self, weight, rng):
+        x = x_with_outlier(rng)
+        lin = PerGroupLinear(weight, group_size=8)
+        ref = x @ weight.T
+        assert relative_error(ref, lin(x)) < 0.05
+
+    def test_beats_naive_per_tensor_on_outliers(self, weight, rng):
+        x = x_with_outlier(rng)
+        ref = x @ weight.T
+        pg = PerGroupLinear(weight, group_size=8)
+        pt = PerTensorLinear(weight, float(np.abs(x).max()) / 127.0)
+        assert relative_error(ref, pg(x)) < relative_error(ref, pt(x))
+
+    def test_float_reduction_macs_counted(self, weight, x_normal):
+        lin = PerGroupLinear(weight, group_size=8)
+        lin(x_normal)
+        assert lin.stats.float_macs == 8 * (32 // 8) * 24
+
+    def test_indivisible_group_raises(self, weight):
+        with pytest.raises(QuantizationError):
+            PerGroupLinear(weight, group_size=5)
+
+
+class TestSmoothQuant:
+    def test_factors_at_least_one(self, weight, rng):
+        absmax = np.abs(rng.normal(size=32)).astype(np.float32) * 3
+        s = smoothing_factors(absmax, weight)
+        assert np.all(s >= 1.0)
+
+    def test_smoothing_reduces_outlier_damage(self, weight, rng):
+        x = x_with_outlier(rng)
+        channel_absmax = np.abs(x).max(axis=0)
+        ref = x @ weight.T
+        sq = SmoothQuantLinear(weight, channel_absmax, 0.0)
+        pt = PerTensorLinear(weight, float(np.abs(x).max()) / 127.0)
+        assert relative_error(ref, sq(x)) < relative_error(ref, pt(x))
+
+    def test_invalid_alpha_raises(self, weight):
+        from repro.errors import CalibrationError
+        with pytest.raises(CalibrationError):
+            smoothing_factors(np.ones(32), weight, alpha=1.5)
+
+
+class TestLlmInt8:
+    def test_near_exact_with_outliers(self, weight, rng):
+        x = x_with_outlier(rng)
+        lin = LlmInt8Linear(weight, outlier_threshold=10.0)
+        ref = x @ weight.T
+        assert relative_error(ref, lin(x)) < 0.01
+
+    def test_outlier_columns_counted(self, weight, rng):
+        x = x_with_outlier(rng, cols=(3, 17))
+        lin = LlmInt8Linear(weight, outlier_threshold=10.0)
+        lin(x)
+        assert lin.stats.outlier_channel_counts == [2]
+        assert lin.stats.float_macs == 8 * 2 * 24
+
+    def test_no_outliers_pure_int8(self, weight, x_normal):
+        lin = LlmInt8Linear(weight, outlier_threshold=100.0)
+        lin(x_normal)
+        assert lin.stats.float_macs == 0
+
+
+class TestAwq:
+    def test_high_accuracy(self, weight, rng):
+        x = x_with_outlier(rng)
+        channel_absmax = np.abs(x).max(axis=0)
+        lin = AwqLinear(weight, channel_absmax, group_size=8)
+        ref = x @ weight.T
+        assert relative_error(ref, lin(x)) < 0.01
+
+    def test_only_float_macs(self, weight, x_normal, rng):
+        lin = AwqLinear(weight, np.abs(x_normal).max(axis=0), group_size=8)
+        lin(x_normal)
+        assert lin.stats.int8_macs == 0
+        assert lin.stats.float_macs == 8 * 32 * 24
+
+    def test_scale_validation(self, weight):
+        with pytest.raises(QuantizationError):
+            awq_scales(np.ones(32), alpha=-0.1)
+        with pytest.raises(QuantizationError):
+            AwqLinear(weight, np.ones(32), group_size=5)
+
+
+class TestShadowOutlierLinear:
+    def test_near_exact_with_shadow_enabled(self, weight, rng):
+        x = x_with_outlier(rng)
+        # threshold below the outlier column's values
+        scale = float(np.abs(x[:, [c for c in range(32) if c != 3]]).max()) / 127.0
+        lin = ShadowOutlierLinear(weight, scale, shadow_enabled=True)
+        ref = x @ weight.T
+        assert relative_error(ref, lin(x)) < 0.01
+
+    def test_pruned_shadow_clamps_outliers(self, weight, rng):
+        x = x_with_outlier(rng)
+        scale = float(np.abs(x[:, [c for c in range(32) if c != 3]]).max()) / 127.0
+        on = ShadowOutlierLinear(weight, scale, shadow_enabled=True)
+        off = ShadowOutlierLinear(weight, scale, shadow_enabled=False)
+        ref = x @ weight.T
+        assert relative_error(ref, off(x)) > 3 * relative_error(ref, on(x))
+
+    def test_decomposition_identity(self, weight, rng):
+        # Eq. 1: NPU half + shadow half == full-precision product of the
+        # fake-quantized main path plus exact residual on outlier columns.
+        x = x_with_outlier(rng)
+        scale = 0.05
+        lin = ShadowOutlierLinear(weight, scale, shadow_enabled=True,
+                                  per_channel_weights=False)
+        cols = lin.outlier_columns(x)
+        assert cols.size >= 1
+        main = lin.npu_half(x)
+        shadow = lin.shadow_half(x, cols)
+        w_eff = lin.qweight.dequantize()
+        from repro.quant.base import quantize_int8
+        x_q = quantize_int8(x, scale).astype(np.float32) * scale
+        expected_main = x_q @ w_eff.T
+        np.testing.assert_allclose(main, expected_main, rtol=1e-4, atol=1e-4)
+        resid = (x - x_q)[:, cols]
+        np.testing.assert_allclose(
+            shadow, resid @ lin.float_weight[:, cols].T, rtol=1e-4, atol=1e-4
+        )
+
+    def test_outlier_channel_stats(self, weight, rng):
+        x = x_with_outlier(rng, cols=(3, 9))
+        scale = 0.05
+        lin = ShadowOutlierLinear(weight, scale)
+        lin(x)
+        assert lin.shadow_stats.shadow_calls == 1
+        assert lin.shadow_stats.outlier_channels[0] >= 2
+        assert lin.mean_outlier_channels() >= 2
+
+    def test_hot_channel_accounting(self, weight, rng):
+        x = x_with_outlier(rng, cols=(3, 9))
+        lin = ShadowOutlierLinear(weight, 0.05,
+                                  hot_channels=np.array([3]))
+        lin(x)
+        assert lin.shadow_stats.hot_hits >= 1
+        assert lin.shadow_stats.cold_misses >= 1
+
+    def test_memory_shrinks_with_hot_cache(self, weight):
+        full = ShadowOutlierLinear(weight, 0.1, hot_channels=None)
+        cached = ShadowOutlierLinear(weight, 0.1,
+                                     hot_channels=np.array([1, 2]))
+        pruned = ShadowOutlierLinear(weight, 0.1, shadow_enabled=False)
+        assert pruned.weight_nbytes() < cached.weight_nbytes()
+        assert cached.weight_nbytes() < full.weight_nbytes()
+
+    def test_equalize_improves_quiet_channels(self, weight, rng):
+        # quiet channels: scale down a block of columns
+        x = rng.normal(size=(8, 32)).astype(np.float32)
+        x[:, 16:] *= 0.05
+        channel_absmax = np.abs(x).max(axis=0)
+        threshold = float(channel_absmax.max())
+        eq = np.minimum(channel_absmax / threshold, 1.0) ** 0.75
+        scale = threshold / 127.0
+        plain = ShadowOutlierLinear(weight, scale)
+        equalized = ShadowOutlierLinear(weight, scale, equalize=eq)
+        ref = x @ weight.T
+        assert relative_error(ref, equalized(x)) < relative_error(ref, plain(x))
+
+    def test_equalize_shape_validated(self, weight):
+        with pytest.raises(ValueError):
+            ShadowOutlierLinear(weight, 0.1, equalize=np.ones(5))
+
+    def test_skipped_calls_counted(self, weight, x_normal):
+        lin = ShadowOutlierLinear(weight, 0.1, shadow_enabled=False)
+        lin(x_normal)
+        assert lin.shadow_stats.skipped_calls == 1
+        assert lin.shadow_stats.shadow_calls == 0

@@ -1,0 +1,155 @@
+"""Tests for quantization error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import QuantizationError
+from repro.quant.metrics import (
+    kl_divergence,
+    mse,
+    sqnr_db,
+    top1_agreement,
+    topk_agreement,
+)
+
+
+class TestMse:
+    def test_zero_for_identical(self, rng):
+        x = rng.normal(size=(4, 8))
+        assert mse(x, x) == 0.0
+
+    def test_known_value(self):
+        assert mse(np.zeros(4), np.ones(4)) == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(QuantizationError):
+            mse(np.zeros(3), np.zeros(4))
+
+
+class TestSqnr:
+    def test_infinite_for_identical(self, rng):
+        x = rng.normal(size=16)
+        assert sqnr_db(x, x) == float("inf")
+
+    def test_10db_per_decade(self, rng):
+        x = rng.normal(size=1000)
+        a = sqnr_db(x, x + 0.01 * rng.normal(size=1000))
+        b = sqnr_db(x, x + 0.1 * rng.normal(size=1000))
+        assert a - b == pytest.approx(20.0, abs=2.0)
+
+    def test_zero_signal(self):
+        assert sqnr_db(np.zeros(4), np.ones(4)) == float("-inf")
+
+
+class TestKl:
+    def test_zero_for_identical(self, rng):
+        logits = rng.normal(size=(3, 10))
+        assert kl_divergence(logits, logits) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different(self, rng):
+        a = rng.normal(size=(3, 10))
+        b = a + rng.normal(size=(3, 10))
+        assert kl_divergence(a, b) > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(hnp.arrays(np.float64, (2, 6), elements=st.floats(-5, 5)),
+           hnp.arrays(np.float64, (2, 6), elements=st.floats(-5, 5)))
+    def test_non_negative(self, a, b):
+        assert kl_divergence(a, b) >= -1e-9
+
+
+class TestAgreement:
+    def test_identical_is_one(self, rng):
+        logits = rng.normal(size=(5, 10))
+        assert top1_agreement(logits, logits) == 1.0
+
+    def test_partial_agreement(self):
+        ref = np.array([[0.0, 1.0], [1.0, 0.0]])
+        qnt = np.array([[0.0, 1.0], [0.0, 1.0]])
+        assert top1_agreement(ref, qnt) == 0.5
+
+    def test_1d_inputs(self):
+        assert top1_agreement(np.array([1.0, 0.0]), np.array([2.0, 0.0])) == 1.0
+
+    def test_topk_contains_top1(self, rng):
+        a = rng.normal(size=(20, 10))
+        b = a + 0.2 * rng.normal(size=(20, 10))
+        assert topk_agreement(a, b, k=3) >= top1_agreement(a, b)
+
+    def test_topk_full_k_is_one(self, rng):
+        a = rng.normal(size=(5, 4))
+        b = rng.normal(size=(5, 4))
+        assert topk_agreement(a, b, k=4) == 1.0
+
+    def test_topk_invalid_k(self, rng):
+        a = rng.normal(size=(2, 4))
+        with pytest.raises(QuantizationError):
+            topk_agreement(a, a, k=0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(QuantizationError):
+            top1_agreement(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestTeacherCrossEntropy:
+    def test_identical_equals_own_entropy_floor(self, rng):
+        from repro.quant.metrics import teacher_cross_entropy
+        logits = rng.normal(size=(10, 8)) * 5
+        # a confident model scoring its own argmax: low cross-entropy
+        self_ce = teacher_cross_entropy(logits, logits)
+        noisy = logits + rng.normal(size=(10, 8)) * 3
+        assert teacher_cross_entropy(logits, noisy) > self_ce
+
+    def test_detects_confidence_erosion(self, rng):
+        from repro.quant.metrics import teacher_cross_entropy, top1_agreement
+        # same argmax everywhere, but flattened margins: agreement is
+        # blind to it, cross-entropy is not
+        logits = rng.normal(size=(20, 6))
+        flattened = logits * 0.2
+        assert top1_agreement(logits, flattened) == 1.0
+        assert (teacher_cross_entropy(logits, flattened)
+                > teacher_cross_entropy(logits, logits))
+
+    def test_pseudo_perplexity_exponentiates(self, rng):
+        import numpy as np
+        from repro.quant.metrics import (
+            pseudo_perplexity,
+            teacher_cross_entropy,
+        )
+        a = rng.normal(size=(5, 7))
+        b = rng.normal(size=(5, 7))
+        assert pseudo_perplexity(a, b) == pytest.approx(
+            np.exp(teacher_cross_entropy(a, b))
+        )
+
+    def test_shape_mismatch_raises(self):
+        import numpy as np
+        from repro.quant.metrics import teacher_cross_entropy
+        with pytest.raises(QuantizationError):
+            teacher_cross_entropy(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_1d_inputs(self, rng):
+        from repro.quant.metrics import teacher_cross_entropy
+        a = rng.normal(size=6)
+        assert teacher_cross_entropy(a, a) >= 0.0
+
+    def test_quantization_ordering_by_cross_entropy(self):
+        # the fp16 path should have lower teacher-CE than naive per-tensor
+        import numpy as np
+        from repro.model import build_synthetic_model, tiny_config
+        from repro.quant import quantize_model
+        from repro.quant.metrics import teacher_cross_entropy
+        cfg = tiny_config(n_layers=4)
+        rng = np.random.default_rng(0)
+        corpus = [rng.integers(4, cfg.vocab_size, size=16) for _ in range(3)]
+        test = rng.integers(4, cfg.vocab_size, size=24)
+        ref = build_synthetic_model(cfg, seed=7).prefill(test)
+        scores = {}
+        for scheme in ("fp16", "per-tensor"):
+            m = build_synthetic_model(cfg, seed=7)
+            quantize_model(m, scheme, calib_corpus=corpus)
+            scores[scheme] = teacher_cross_entropy(ref, m.prefill(test))
+        assert scores["fp16"] < scores["per-tensor"]

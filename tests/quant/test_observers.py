@@ -1,0 +1,159 @@
+"""Tests for calibration observers and derived site statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.model import LINEAR_SITES
+from repro.quant.observers import ActivationObserver, calibrate
+
+
+def make_calib(model, rng, n_seqs=5, seq_len=24, channel_percentile=96.0):
+    corpus = [rng.integers(4, model.config.vocab_size, size=seq_len)
+              for _ in range(n_seqs)]
+    return calibrate(model, corpus, channel_percentile=channel_percentile)
+
+
+class TestObserverMechanics:
+    def test_empty_observer_raises(self):
+        with pytest.raises(CalibrationError):
+            ActivationObserver().result()
+
+    def test_invalid_percentile_raises(self):
+        with pytest.raises(CalibrationError):
+            ActivationObserver(channel_percentile=0.0)
+        with pytest.raises(CalibrationError):
+            ActivationObserver(channel_percentile=101.0)
+
+    def test_empty_corpus_raises(self, tiny_model):
+        with pytest.raises(CalibrationError):
+            calibrate(tiny_model, [])
+
+    def test_covers_all_sites(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        n_layers = tiny_model.config.n_layers
+        expected_sites = len(LINEAR_SITES)
+        assert len(list(calib.keys())) == n_layers * expected_sites
+
+    def test_missing_site_raises(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        with pytest.raises(CalibrationError):
+            calib[(999, "wq")]
+
+    def test_contains(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        assert (0, "wq") in calib
+        assert (999, "wq") not in calib
+
+
+class TestSiteStats:
+    def test_threshold_below_absmax_with_outliers(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        stats = calib[(0, "wq")]
+        assert 0 < stats.threshold <= stats.absmax
+
+    def test_scale_vs_naive_scale(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        stats = calib[(0, "wq")]
+        assert stats.scale <= stats.naive_scale
+        assert stats.scale == pytest.approx(stats.threshold / 127.0)
+
+    def test_importance_at_least_one(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        for key in calib.keys():
+            assert calib[key].importance >= 1.0 - 1e-6
+
+    def test_outlier_model_importance_exceeds_clean_model(
+            self, tiny_model, no_outlier_model, rng):
+        calib_hot = make_calib(tiny_model, rng)
+        calib_clean = make_calib(no_outlier_model, rng)
+        # first layer sees the strongest injected outliers
+        assert (calib_hot[(0, "wq")].importance
+                > calib_clean[(0, "wq")].importance)
+
+    def test_channel_absmax_shape(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        stats = calib[(0, "wq")]
+        assert stats.channel_absmax.shape == (tiny_model.config.hidden_size,)
+
+    def test_outlier_counts_consistent(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        stats = calib[(0, "wq")]
+        assert len(stats.outlier_channels_per_call) == stats.calls
+        assert stats.channel_outlier_hits.sum() == sum(
+            stats.outlier_channels_per_call
+        )
+
+    def test_mean_outlier_channels(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        stats = calib[(0, "wq")]
+        assert stats.mean_outlier_channels() == pytest.approx(
+            np.mean(stats.outlier_channels_per_call)
+        )
+
+    def test_outlier_fraction_small(self, tiny_model, rng):
+        # The synthetic structure keeps per-call outlier channels rare
+        # (Fig. 10's property, adjusted for the tiny width).
+        calib = make_calib(tiny_model, rng)
+        for key in calib.keys():
+            assert calib[key].outlier_channel_fraction() < 0.25
+
+
+class TestHotChannels:
+    def test_hot_channels_cover_requested_fraction(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        stats = calib[(0, "wq")]
+        hot = stats.hot_channels(0.8)
+        covered = stats.channel_outlier_hits[hot].sum()
+        assert covered >= 0.8 * stats.channel_outlier_hits.sum()
+
+    def test_hot_channels_minimal_prefix(self, tiny_model, rng):
+        # Removing the last hot channel must drop coverage below target.
+        calib = make_calib(tiny_model, rng)
+        stats = calib[(0, "wq")]
+        hot = stats.hot_channels(0.8)
+        total = stats.channel_outlier_hits.sum()
+        if hot.size > 1 and total > 0:
+            covered = stats.channel_outlier_hits[hot[:-1]].sum()
+            assert covered < 0.8 * total
+
+    def test_hot_fraction_skewed(self, tiny_model, rng):
+        # Fig. 11: a small fraction of channels covers most outliers.
+        calib = make_calib(tiny_model, rng)
+        stats = calib[(0, "wq")]
+        if stats.channel_outlier_hits.sum() > 0:
+            assert stats.hot_channel_fraction(0.8) < 0.3
+
+    def test_invalid_coverage_raises(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        with pytest.raises(CalibrationError):
+            calib[(0, "wq")].hot_channels(0.0)
+
+    def test_no_outliers_returns_empty(self):
+        from repro.quant.observers import SiteStats
+        stats = SiteStats(
+            width=4, absmax=1.0, threshold=1.0,
+            channel_absmax=np.ones(4, dtype=np.float32),
+            channel_outlier_hits=np.zeros(4, dtype=np.int64),
+            outlier_channels_per_call=[0], calls=1, rows=8,
+        )
+        assert stats.hot_channels().size == 0
+        assert stats.mean_outlier_channels() == 0.0
+
+
+class TestLayerImportance:
+    def test_u_shape_on_synthetic_model(self, rng):
+        # Fig. 12: end layers more important than middle layers.
+        from repro.model import build_synthetic_model, tiny_config
+        cfg = tiny_config(n_layers=8)
+        model = build_synthetic_model(cfg, seed=3)
+        calib = make_calib(model, rng)
+        imp = calib.layer_importance()
+        ends = (imp[0] + imp[7]) / 2
+        middle = np.mean([imp[i] for i in range(2, 6)])
+        assert ends > 1.5 * middle
+
+    def test_site_importance_keys(self, tiny_model, rng):
+        calib = make_calib(tiny_model, rng)
+        site_imp = calib.site_importance()
+        assert set(site_imp) == set(calib.keys())

@@ -1,0 +1,92 @@
+"""Tests for quantized checkpoint serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.model import build_synthetic_model, tiny_config
+from repro.quant import quantize_model
+from repro.quant.io import load_quantized, save_quantized
+from repro.workloads import calibration_corpus
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return tiny_config(n_layers=4)
+
+
+@pytest.fixture(scope="module")
+def corpus(cfg):
+    return calibration_corpus(cfg, 4, 16, seed=3)
+
+
+def quantize_fresh(cfg, corpus, scheme, **kw):
+    model = build_synthetic_model(cfg, seed=3)
+    quantize_model(model, scheme, calib_corpus=corpus, **kw)
+    return model
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("scheme,kw", [
+        ("llm.npu", {}),
+        ("llm.npu", {"pruning_rate": 0.0, "hot_coverage": None}),
+        ("per-tensor", {}),
+        ("per-group", {}),
+        ("per-group", {"weight_bits": 4}),
+    ])
+    def test_logits_bit_exact(self, cfg, corpus, scheme, kw, tmp_path, rng):
+        original = quantize_fresh(cfg, corpus, scheme, **kw)
+        path = os.path.join(tmp_path, "q.npz")
+        save_quantized(original, path)
+
+        target = build_synthetic_model(cfg, seed=3)
+        replaced = load_quantized(target, path)
+        assert len(replaced) == sum(1 for _ in target.iter_linears())
+
+        ids = rng.integers(4, cfg.vocab_size, size=20)
+        np.testing.assert_array_equal(original.prefill(ids),
+                                      target.prefill(ids))
+
+    def test_shadow_metadata_preserved(self, cfg, corpus, tmp_path):
+        from repro.quant import ShadowOutlierLinear
+        original = quantize_fresh(cfg, corpus, "llm.npu")
+        path = os.path.join(tmp_path, "q.npz")
+        save_quantized(original, path)
+        target = build_synthetic_model(cfg, seed=3)
+        load_quantized(target, path)
+        for (_, _, a), (_, _, b) in zip(original.iter_linears(),
+                                        target.iter_linears()):
+            assert isinstance(b, ShadowOutlierLinear)
+            assert b.act_scale == a.act_scale
+            assert b.shadow_enabled == a.shadow_enabled
+            assert b.hot_channel_set == a.hot_channel_set
+
+
+class TestValidation:
+    def test_float_model_not_savable(self, cfg, tmp_path):
+        model = build_synthetic_model(cfg, seed=3)
+        with pytest.raises(QuantizationError):
+            save_quantized(model, os.path.join(tmp_path, "q.npz"))
+
+    def test_fp16_scheme_not_savable(self, cfg, tmp_path):
+        model = build_synthetic_model(cfg, seed=3)
+        quantize_model(model, "fp16")
+        with pytest.raises(QuantizationError):
+            save_quantized(model, os.path.join(tmp_path, "q.npz"))
+
+    def test_non_checkpoint_rejected(self, cfg, tmp_path):
+        path = os.path.join(tmp_path, "junk.npz")
+        np.savez(path, a=np.zeros(3))
+        model = build_synthetic_model(cfg, seed=3)
+        with pytest.raises(QuantizationError):
+            load_quantized(model, path)
+
+    def test_architecture_mismatch_rejected(self, cfg, corpus, tmp_path):
+        original = quantize_fresh(cfg, corpus, "per-tensor")
+        path = os.path.join(tmp_path, "q.npz")
+        save_quantized(original, path)
+        other = build_synthetic_model(tiny_config(n_layers=2), seed=3)
+        with pytest.raises(QuantizationError):
+            load_quantized(other, path)

@@ -1,0 +1,118 @@
+"""Tests for the synthetic accuracy benchmarks and calibration corpora."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model import build_synthetic_model, tiny_config
+from repro.workloads import (
+    ACCURACY_BENCHMARKS,
+    AccuracyBenchmark,
+    build_items,
+    calibration_corpus,
+    evaluate,
+    get_benchmark,
+    heldout_sequences,
+    model_answers,
+    teacher_agreement,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_synthetic_model(tiny_config(), seed=2)
+
+
+class TestBenchmarkDefinitions:
+    def test_five_suites(self):
+        assert len(ACCURACY_BENCHMARKS) == 5
+
+    def test_lookup(self):
+        assert get_benchmark("lambada").kind == "cloze"
+        assert get_benchmark("winogrande").n_choices == 2
+        with pytest.raises(WorkloadError):
+            get_benchmark("gsm8k")
+
+    def test_invalid_definitions(self):
+        with pytest.raises(WorkloadError):
+            AccuracyBenchmark("x", "X", "ranking", 10, 8)
+        with pytest.raises(WorkloadError):
+            AccuracyBenchmark("x", "X", "mcq", 10, 8, n_choices=1)
+        with pytest.raises(WorkloadError):
+            AccuracyBenchmark("x", "X", "cloze", 0, 8)
+
+
+class TestItems:
+    def test_item_counts(self, model):
+        bench = get_benchmark("hellaswag")
+        items = build_items(bench, model.config)
+        assert len(items) == bench.n_items
+        assert all(len(i.choices) == 4 for i in items)
+
+    def test_cloze_has_no_choices(self, model):
+        bench = get_benchmark("lambada")
+        items = build_items(bench, model.config)
+        assert all(i.choices == () for i in items)
+
+    def test_items_deterministic(self, model):
+        bench = get_benchmark("mmlu")
+        a = build_items(bench, model.config)
+        b = build_items(bench, model.config)
+        assert all(np.array_equal(x.context, y.context)
+                   for x, y in zip(a, b))
+
+    def test_choices_unique(self, model):
+        bench = get_benchmark("openbookqa")
+        for item in build_items(bench, model.config):
+            assert len(set(item.choices)) == len(item.choices)
+
+
+class TestScoring:
+    def test_model_agrees_with_itself(self, model):
+        bench = get_benchmark("hellaswag")
+        items = build_items(bench, model.config)[:8]
+        answers = model_answers(model, bench, items)
+        assert evaluate(model, answers, bench, items) == 1.0
+
+    def test_different_model_disagrees(self, model):
+        bench = get_benchmark("lambada")
+        items = build_items(bench, model.config)[:16]
+        answers = model_answers(model, bench, items)
+        other = build_synthetic_model(tiny_config(), seed=99)
+        assert evaluate(other, answers, bench, items) < 0.9
+
+    def test_mcq_answers_are_choice_indices(self, model):
+        bench = get_benchmark("winogrande")
+        items = build_items(bench, model.config)[:8]
+        answers = model_answers(model, bench, items)
+        assert np.all(answers >= 0)
+        assert np.all(answers < bench.n_choices)
+
+    def test_teacher_agreement_validation(self):
+        with pytest.raises(WorkloadError):
+            teacher_agreement(np.zeros(3), np.zeros(4))
+        with pytest.raises(WorkloadError):
+            teacher_agreement(np.zeros(0), np.zeros(0))
+
+
+class TestCorpus:
+    def test_shapes(self, model):
+        corpus = calibration_corpus(model.config, 4, 16)
+        assert len(corpus) == 4
+        assert all(seq.shape == (16,) for seq in corpus)
+
+    def test_ids_avoid_reserved(self, model):
+        for seq in calibration_corpus(model.config, 4, 16):
+            assert seq.min() >= 4
+            assert seq.max() < model.config.vocab_size
+
+    def test_heldout_differs_from_calibration(self, model):
+        calib = calibration_corpus(model.config, 2, 16, seed=0)
+        held = heldout_sequences(model.config, 2, 16)
+        assert not np.array_equal(calib[0], held[0])
+
+    def test_validation(self, model):
+        with pytest.raises(WorkloadError):
+            calibration_corpus(model.config, 0, 16)
+        with pytest.raises(WorkloadError):
+            calibration_corpus(model.config, 2, 10 ** 9)

@@ -1,0 +1,114 @@
+"""Tests for workload specs, sampling, and prompt generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model import ToyTokenizer
+from repro.workloads import (
+    CHAT_SUMMARY,
+    EMAIL_REPLY,
+    UI_AUTOMATION,
+    WORKLOADS,
+    WorkloadSpec,
+    chat_dialogue,
+    email_history,
+    geomean,
+    get_workload,
+    sample_workload,
+    ui_view_hierarchy,
+)
+
+
+class TestWorkloadSpecs:
+    def test_five_workloads(self):
+        assert len(WORKLOADS) == 5
+
+    def test_lookup(self):
+        assert get_workload("ui_automation") is UI_AUTOMATION
+        with pytest.raises(WorkloadError):
+            get_workload("tiktok")
+
+    def test_ranges_match_table5(self):
+        assert UI_AUTOMATION.prompt_range == (656, 827)
+        assert EMAIL_REPLY.prompt_range == (1451, 1672)
+        assert CHAT_SUMMARY.output_range == (35, 57)
+
+    def test_invalid_spec(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("bad", "x", (10, 5), (1, 2))
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("bad", "x", (5, 10), (0, 2))
+
+
+class TestSampling:
+    def test_lengths_within_ranges(self):
+        for spec in WORKLOADS.values():
+            for s in sample_workload(spec, 50, seed=1):
+                assert spec.prompt_range[0] <= s.prompt_tokens <= spec.prompt_range[1]
+                assert spec.output_range[0] <= s.output_tokens <= spec.output_range[1]
+
+    def test_deterministic_per_seed(self):
+        a = sample_workload(UI_AUTOMATION, 10, seed=5)
+        b = sample_workload(UI_AUTOMATION, 10, seed=5)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = sample_workload(UI_AUTOMATION, 10, seed=5)
+        b = sample_workload(UI_AUTOMATION, 10, seed=6)
+        assert a != b
+
+    def test_invalid_count(self):
+        with pytest.raises(WorkloadError):
+            sample_workload(UI_AUTOMATION, 0)
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geomean([3.5]) == pytest.approx(3.5)
+
+    def test_below_arithmetic_mean(self):
+        values = [1.0, 10.0, 100.0]
+        assert geomean(values) < np.mean(values)
+
+    def test_empty_raises(self):
+        with pytest.raises(WorkloadError):
+            geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(WorkloadError):
+            geomean([1.0, 0.0])
+
+
+class TestPromptGenerators:
+    """Prompt texts should tokenize into the paper's length ranges."""
+
+    def test_ui_hierarchy_token_range(self):
+        tok = ToyTokenizer()
+        count = tok.count(ui_view_hierarchy(seed=1))
+        assert 500 <= count <= 900
+
+    def test_email_history_token_range(self):
+        tok = ToyTokenizer()
+        count = tok.count(email_history(seed=1))
+        assert 1300 <= count <= 1900
+
+    def test_chat_dialogue_token_range(self):
+        tok = ToyTokenizer()
+        count = tok.count(chat_dialogue(seed=1))
+        assert 400 <= count <= 700
+
+    def test_deterministic(self):
+        assert ui_view_hierarchy(seed=3) == ui_view_hierarchy(seed=3)
+        assert email_history(seed=3) == email_history(seed=3)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(WorkloadError):
+            ui_view_hierarchy(n_nodes=0)
+        with pytest.raises(WorkloadError):
+            email_history(n_messages=0)
+        with pytest.raises(WorkloadError):
+            chat_dialogue(n_turns=0)
