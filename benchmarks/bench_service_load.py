@@ -7,7 +7,12 @@ service drowns in queueing.
 
 from conftest import show_and_archive
 
-from repro.eval import service_engine_comparison, service_load
+from repro.eval import (
+    service_engine_comparison,
+    service_fault_recovery,
+    service_load,
+    service_tier_comparison,
+)
 
 
 def test_service_capacity_knee(once):
@@ -37,3 +42,34 @@ def test_service_engine_comparison(once):
     # ...while the CPU-engine service's queueing dominates its turnaround
     assert baseline[3] > 10 * ours[1]
     assert baseline[1] > 20 * ours[1]
+
+
+def test_service_tier_scheduling(once):
+    """Two-tier overload: priority+admission vs the seed's FIFO queue."""
+    table = once(service_tier_comparison)
+    show_and_archive(table, "service_tiers.txt")
+
+    fifo = table.row_by_key("fifo (seed)")
+    sched = table.row_by_key("priority+admission")
+    # the interactive tier's p95 improves by a large factor...
+    assert sched[2] < fifo[2] / 3
+    # ...paid for by shed background load, which FIFO never rejects
+    assert fifo[5] == 0
+    assert sched[5] > 0
+    # both schedules drive the same engine: utilization stays comparable
+    assert sched[7] > 0.3
+
+
+def test_service_fault_recovery(once):
+    """Transient faults are absorbed by bounded retries, not failures."""
+    table = once(service_fault_recovery)
+    show_and_archive(table, "service_faults.txt")
+
+    completed = table.column("completed")
+    retries = table.column("retries")
+    turnaround = table.column("mean turnaround s")
+    # every request completes at every fault rate (cap never exhausted)
+    assert all(c == completed[0] for c in completed)
+    # retries and turnaround grow with the fault rate
+    assert retries[0] == 0 and retries[-1] > retries[0]
+    assert turnaround[-1] > turnaround[0]

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Determinism tripwire for the service scheduler: serve the golden
+# two-tier workload (with seeded fault injection) twice in separate
+# interpreter processes and require byte-identical reports.  Catches any
+# nondeterminism that leaks into admission decisions, queue order,
+# retry timing, or the underlying simulator (hash-order iteration,
+# wall-clock reads, unseeded RNG...).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+snapshot() {
+    python -c 'from repro.eval import service_golden_snapshot
+print(service_golden_snapshot(seed=42))'
+}
+
+out1=$(mktemp)
+out2=$(mktemp)
+trap 'rm -f "$out1" "$out2"' EXIT
+
+snapshot > "$out1"
+snapshot > "$out2"
+
+if ! diff -u "$out1" "$out2"; then
+    echo "FAIL: consecutive golden service runs differ" >&2
+    exit 1
+fi
+echo "OK: golden service report is byte-identical across runs" \
+     "($(wc -l < "$out1") lines)"

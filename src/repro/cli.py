@@ -18,7 +18,9 @@ from typing import Dict, List
 from repro.eval import (
     ablation_chunk_length,
     calibration_dashboard,
+    service_fault_recovery,
     service_load,
+    service_tier_comparison,
     ablation_equivalent_shapes,
     ablation_hot_channels,
     ablation_scheduler,
@@ -76,6 +78,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "validate": ("calibration dashboard: paper anchors vs this build",
                  calibration_dashboard),
     "service": ("LLM-as-a-System-Service load analysis", service_load),
+    "service-tiers": ("two-tier scheduling + admission control vs FIFO",
+                      service_tier_comparison),
+    "service-faults": ("retry-with-backoff under injected engine faults",
+                       service_fault_recovery),
 }
 
 

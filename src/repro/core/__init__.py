@@ -27,14 +27,32 @@ from repro.core.residency import (
     npu_weight_bytes_by_subgraph,
     plan_npu_residency,
 )
-from repro.core.results import InferenceReport, PrefillReport
-from repro.core.service import ChatSession, LlmService, ServedRequest, ServiceStats
+from repro.core.results import (
+    InferenceReport,
+    PrefillReport,
+    ServiceMetrics,
+    TierStats,
+    summarize_service,
+)
+from repro.core.service import (
+    BACKGROUND_TIER,
+    DEFAULT_TIERS,
+    FAULT_ATTEMPT_FRACTION,
+    INTERACTIVE_TIER,
+    ChatSession,
+    LlmService,
+    ServedRequest,
+    ServiceRequest,
+    ServiceStats,
+    TierPolicy,
+)
 from repro.core.scheduler import (
     ChunkOrderPolicy,
     HeadOfLinePolicy,
     LatencyGreedyPolicy,
     NormalizedOooPolicy,
     OutOfOrderPolicy,
+    RequestQueue,
     get_policy,
     newly_ready_npu_time,
 )
@@ -49,7 +67,17 @@ __all__ = [
     "LlmService",
     "ChatSession",
     "ServedRequest",
+    "ServiceRequest",
     "ServiceStats",
+    "ServiceMetrics",
+    "TierStats",
+    "summarize_service",
+    "TierPolicy",
+    "INTERACTIVE_TIER",
+    "BACKGROUND_TIER",
+    "DEFAULT_TIERS",
+    "FAULT_ATTEMPT_FRACTION",
+    "RequestQueue",
     "NpuResidencyPlan",
     "plan_npu_residency",
     "npu_weight_bytes_by_subgraph",

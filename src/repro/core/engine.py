@@ -29,6 +29,7 @@ from repro.errors import EngineError
 from repro.graph.builder import BuildOptions, GraphBuilder, ShadowProfile
 from repro.graph.chunk import ChunkSharingGraph
 from repro.graph.memory_plan import plan_chunk_sharing
+from repro.hw.sim import FaultInjector
 from repro.hw.soc import SocSpec, get_device
 from repro.model.config import ModelConfig, get_model_config
 from repro.model.synthetic import depth_factor
@@ -88,10 +89,15 @@ class LlmNpuEngine:
     name = "llm.npu"
 
     def __init__(self, model: ModelConfig, device: SocSpec,
-                 config: Optional[EngineConfig] = None):
+                 config: Optional[EngineConfig] = None,
+                 fault_injector: Optional["FaultInjector"] = None):
         self.model = model
         self.device = device
         self.config = config if config is not None else EngineConfig()
+        #: Optional deterministic fault source (see
+        #: :class:`~repro.hw.sim.FaultInjector`).  ``infer`` consults it
+        #: once per execution attempt; ``None`` means fault-free.
+        self.fault_injector = fault_injector
         cfg = self.config
 
         self.build_options = BuildOptions(
@@ -119,12 +125,13 @@ class LlmNpuEngine:
             model = get_model_config(model)
         if isinstance(device, str):
             device = get_device(device)
+        fault_injector = kwargs.pop("fault_injector", None)
         config = kwargs.pop("config", None)
         if config is None:
             config = EngineConfig(**kwargs)
         elif kwargs:
             config = replace(config, **kwargs)
-        return cls(model, device, config)
+        return cls(model, device, config, fault_injector=fault_injector)
 
     def _make_shadow_profiles(self) -> Dict[int, ShadowProfile]:
         """Per-layer shadow profiles from the paper's measured statistics.
@@ -216,10 +223,26 @@ class LlmNpuEngine:
         return decode_latency_s(self.model, proc, prompt_tokens,
                                 output_tokens, options)
 
+    def check_fault(self) -> None:
+        """Consume one fault draw for an execution attempt.
+
+        Raises :class:`~repro.errors.TransientEngineError` or
+        :class:`~repro.errors.PermanentEngineError` when the attached
+        injector scripts a fault for this attempt; a no-op otherwise.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.check()
+
     def infer(self, prompt_tokens: int,
               output_tokens: int = 0,
               cached_tokens: int = 0) -> InferenceReport:
-        """Full prefill + decode with energy and memory accounting."""
+        """Full prefill + decode with energy and memory accounting.
+
+        With a :attr:`fault_injector` attached, each call is one
+        execution attempt and may raise a typed engine error instead of
+        returning a report.
+        """
+        self.check_fault()
         prefill = self.prefill(prompt_tokens, cached_tokens)
         total_context = cached_tokens + prompt_tokens
         decode_s = self.decode(total_context, output_tokens)

@@ -1,9 +1,9 @@
-"""Result records returned by the engines."""
+"""Result records returned by the engines and the service layer."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.hw.energy import EnergyBreakdown
 from repro.hw.trace import Trace
@@ -110,3 +110,134 @@ class InferenceReport:
             f"decode={self.decode_latency_s:.3f}s "
             f"e2e={self.e2e_latency_s:.3f}s energy={self.energy_j:.1f}J"
         )
+
+
+# -- service-level metrics (§3.1's LLM-as-a-System-Service) -------------------
+
+
+@dataclass(frozen=True)
+class TierStats:
+    """Per-tier service metrics over one workload.
+
+    Latency percentiles cover *completed* requests only; rejected,
+    timed-out, cancelled and failed requests are counted but contribute
+    no latency samples (they never produced an answer).
+    """
+
+    tier: str
+    n_requests: int
+    n_completed: int
+    n_rejected: int
+    n_timeout: int
+    n_cancelled: int
+    n_failed: int
+    n_retries: int
+    p50_turnaround_s: float
+    p95_turnaround_s: float
+    mean_queueing_s: float
+    throughput_rps: float
+
+    @property
+    def completion_rate(self) -> float:
+        if self.n_requests == 0:
+            return 0.0
+        return self.n_completed / self.n_requests
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Aggregate + per-tier view of one served workload."""
+
+    span_s: float
+    n_requests: int
+    n_completed: int
+    n_rejected: int
+    n_timeout: int
+    n_cancelled: int
+    n_failed: int
+    n_retries: int
+    npu_busy_s: float
+    npu_utilization: float
+    busy_fraction: float
+    total_energy_j: float
+    tiers: Dict[str, TierStats]
+
+    def tier(self, name: str) -> TierStats:
+        from repro.errors import EngineError
+        try:
+            return self.tiers[name]
+        except KeyError:
+            raise EngineError(
+                f"no requests in tier {name!r}; "
+                f"tiers seen: {sorted(self.tiers)}"
+            ) from None
+
+
+def _percentile(values: List[float], q: float) -> float:
+    import numpy as np
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def summarize_service(records) -> ServiceMetrics:
+    """Fold a list of ``ServedRequest`` records into service metrics.
+
+    The span is the wall-clock window from the earliest arrival to the
+    latest finish across all engines; NPU utilization is the summed NPU
+    busy time of completed prefills over that span (with independent
+    per-engine timelines it can exceed 1 when several engines run
+    concurrently).
+    """
+    from repro.errors import EngineError
+    records = list(records)
+    if not records:
+        raise EngineError("no requests served yet")
+
+    span = (max(r.finish_s for r in records)
+            - min(r.arrival_s for r in records))
+    by_tier: Dict[str, List] = {}
+    for r in records:
+        by_tier.setdefault(r.tier, []).append(r)
+
+    tiers: Dict[str, TierStats] = {}
+    for name in sorted(by_tier):
+        rs = by_tier[name]
+        done = [r for r in rs if r.status == "completed"]
+        turnarounds = [r.turnaround_s for r in done]
+        tiers[name] = TierStats(
+            tier=name,
+            n_requests=len(rs),
+            n_completed=len(done),
+            n_rejected=sum(1 for r in rs if r.status == "rejected"),
+            n_timeout=sum(1 for r in rs if r.status == "timeout"),
+            n_cancelled=sum(1 for r in rs if r.status == "cancelled"),
+            n_failed=sum(1 for r in rs if r.status == "failed"),
+            n_retries=sum(r.retries for r in rs),
+            p50_turnaround_s=_percentile(turnarounds, 50),
+            p95_turnaround_s=_percentile(turnarounds, 95),
+            mean_queueing_s=(sum(r.queueing_s for r in done) / len(done)
+                             if done else 0.0),
+            throughput_rps=(len(done) / span if span > 0 else 0.0),
+        )
+
+    completed = [r for r in records if r.status == "completed"]
+    npu_busy = sum(r.report.prefill.npu_busy_s for r in completed
+                   if r.report is not None)
+    busy = sum(r.service_s for r in completed)
+    return ServiceMetrics(
+        span_s=span,
+        n_requests=len(records),
+        n_completed=len(completed),
+        n_rejected=sum(t.n_rejected for t in tiers.values()),
+        n_timeout=sum(t.n_timeout for t in tiers.values()),
+        n_cancelled=sum(t.n_cancelled for t in tiers.values()),
+        n_failed=sum(t.n_failed for t in tiers.values()),
+        n_retries=sum(t.n_retries for t in tiers.values()),
+        npu_busy_s=npu_busy,
+        npu_utilization=(npu_busy / span if span > 0 else 0.0),
+        busy_fraction=(busy / span if span > 0 else 0.0),
+        total_energy_j=sum(r.report.energy_j for r in completed
+                           if r.report is not None),
+        tiers=tiers,
+    )

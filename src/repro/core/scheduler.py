@@ -149,6 +149,64 @@ class HeadOfLinePolicy(SchedulingPolicy):
         return None  # head-of-line blocked: idle until the next event
 
 
+class RequestQueue:
+    """Deterministic request-level queue for the service layer (§3.1).
+
+    The subgraph policies above order work *within* one inference; this
+    queue orders whole requests *between* inferences.  Two modes:
+
+    * ``'priority'`` — higher tier priority first, then earlier arrival,
+      then lower request id (the multi-tenant scheduler's order);
+    * ``'fifo'`` — pure arrival order (the single-queue baseline the
+      seed service implemented).
+
+    Entries are any objects exposing ``priority``, ``arrival_s`` and
+    ``request_id``; ties always resolve by request id, so the order is a
+    pure function of the queue contents — no wall-clock or hash-order
+    nondeterminism can leak in.
+    """
+
+    def __init__(self, mode: str = "priority"):
+        if mode not in ("priority", "fifo"):
+            from repro.errors import SchedulingError
+            raise SchedulingError(
+                f"unknown queue mode {mode!r}; use 'priority' or 'fifo'"
+            )
+        self.mode = mode
+        self._heap: List[tuple] = []
+
+    def key(self, entry) -> tuple:
+        if self.mode == "priority":
+            return (-entry.priority, entry.arrival_s, entry.request_id)
+        return (entry.arrival_s, entry.request_id)
+
+    def precedes(self, a, b) -> bool:
+        """Would ``a`` be dispatched before ``b``?"""
+        return self.key(a) < self.key(b)
+
+    def push(self, entry) -> None:
+        import heapq
+        heapq.heappush(self._heap, (self.key(entry), entry))
+
+    def pop(self):
+        import heapq
+        return heapq.heappop(self._heap)[1]
+
+    def peek(self):
+        return self._heap[0][1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self):
+        """Entries in dispatch order (non-destructive)."""
+        return (entry for _, entry in sorted(self._heap,
+                                             key=lambda kv: kv[0]))
+
+
 def get_policy(name: str) -> SchedulingPolicy:
     """Policy factory: 'ooo', 'in-order', or 'latency-greedy'."""
     from repro.errors import SchedulingError

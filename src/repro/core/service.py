@@ -1,4 +1,4 @@
-"""LLM-as-a-System-Service (§3.1).
+"""LLM-as-a-System-Service (§3.1) — a multi-tenant service scheduler.
 
 The paper positions llm.npu as the inference engine behind an OS-level
 "LLM-as-a-System-Service" [99, 102]: applications submit prompts to one
@@ -8,36 +8,165 @@ graph preparation themselves.  :class:`LlmService` models that layer:
 * engines are prepared lazily per (model, device) and cached — the
   preparation cost (§3.2's one-time graph build + optimize) is paid once
   and amortized over all subsequent requests;
-* requests are served FIFO (mobile NPUs don't preempt, §3.4/Eq. 4) with
-  queueing delay accounted;
-* the service keeps aggregate statistics (latency percentiles, energy).
+* each prepared engine owns an **independent timeline**: requests for
+  one model never inflate the queueing delay reported for another;
+* requests carry a **tier** (interactive vs. background); the scheduler
+  dispatches by tier priority, then arrival, then id — mobile NPUs don't
+  preempt (§3.4/Eq. 4), so prioritization happens at dispatch points;
+* an **admission controller** rejects a request on arrival when its
+  projected queueing delay exceeds the tier's SLO::
+
+      wait(r) = max(0, engine_free - arrival(r))
+                + sum(est_service(q) for queued q dispatched before r)
+
+      reject iff wait(r) > tier(r).slo_queueing_s
+
+* requests time out: one still queued past ``arrival + timeout_s`` is
+  cancelled instead of dispatched (and a request retrying past its
+  deadline gives up);
+* transient engine faults (see :class:`~repro.hw.sim.FaultInjector`)
+  are retried with exponential backoff up to the tier's cap; permanent
+  faults fail the request immediately;
+* the service keeps per-tier statistics (latency percentiles,
+  rejection/retry/timeout counts, NPU utilization) — see
+  :func:`~repro.core.results.summarize_service`.
+
+Two serving paths coexist:
+
+* :meth:`LlmService.submit` — the legacy synchronous path: the caller
+  blocks for this one request, so it is dispatched immediately after
+  whatever is already on the engine's timeline (no admission control,
+  no timeout unless one is passed explicitly);
+* :meth:`LlmService.enqueue` + :meth:`LlmService.run` — the scheduler
+  path: requests accumulate with arrival timestamps, then ``run`` plays
+  the whole arrival stream through the admission controller and the
+  priority queue deterministically.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.engine import EngineConfig, LlmNpuEngine
-from repro.core.results import InferenceReport
-from repro.errors import EngineError
+from repro.core.results import (
+    InferenceReport,
+    ServiceMetrics,
+    summarize_service,
+)
+from repro.core.scheduler import RequestQueue
+from repro.errors import (
+    EngineError,
+    PermanentEngineError,
+    TransientEngineError,
+)
+from repro.hw.sim import FaultInjector, FaultSpec
 from repro.hw.soc import SocSpec, get_device
 from repro.model.config import ModelConfig, get_model_config
 from repro.workloads.datasets import WorkloadSample
 
+#: Fraction of a request's estimated service time a *failed* execution
+#: attempt consumes before the fault surfaces (the graph dies part-way
+#: through its subgraph schedule, not at submit time).
+FAULT_ATTEMPT_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """Scheduling contract of one service tier.
+
+    ``priority`` orders dispatch (higher first).  ``slo_queueing_s`` is
+    the admission bound: a request whose projected queueing delay
+    exceeds it is rejected on arrival.  ``timeout_s`` bounds the whole
+    wait: a request not finished retrying / not yet dispatched by
+    ``arrival + timeout_s`` is cancelled.  ``max_retries`` and
+    ``retry_backoff_s`` govern recovery from transient engine faults
+    (exponential backoff: ``backoff * 2**attempt``).
+    """
+
+    name: str
+    priority: int
+    slo_queueing_s: float = math.inf
+    timeout_s: float = math.inf
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.slo_queueing_s < 0 or self.timeout_s < 0:
+            raise EngineError("SLO and timeout must be non-negative")
+        if self.max_retries < 0:
+            raise EngineError("max_retries must be non-negative")
+        if self.retry_backoff_s < 0:
+            raise EngineError("retry_backoff_s must be non-negative")
+
+
+#: Foreground tier: user is watching (UI automation, chat).
+INTERACTIVE_TIER = TierPolicy(
+    name="interactive", priority=10,
+    slo_queueing_s=3.0, timeout_s=30.0,
+    max_retries=2, retry_backoff_s=0.05,
+)
+
+#: Best-effort tier: summarization, indexing, prefetch.
+BACKGROUND_TIER = TierPolicy(
+    name="background", priority=0,
+    slo_queueing_s=20.0, timeout_s=180.0,
+    max_retries=3, retry_backoff_s=0.2,
+)
+
+DEFAULT_TIERS: Dict[str, TierPolicy] = {
+    INTERACTIVE_TIER.name: INTERACTIVE_TIER,
+    BACKGROUND_TIER.name: BACKGROUND_TIER,
+}
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One pending request on an engine's queue."""
+
+    request_id: int
+    model: str
+    prompt_tokens: int
+    output_tokens: int
+    cached_tokens: int
+    arrival_s: float
+    tier: TierPolicy
+    timeout_s: float
+
+    @property
+    def priority(self) -> int:
+        return self.tier.priority
+
+    @property
+    def deadline_s(self) -> float:
+        return self.arrival_s + self.timeout_s
+
 
 @dataclass(frozen=True)
 class ServedRequest:
-    """One completed request with its service-level timings."""
+    """One finished (or shed) request with its service-level timings.
+
+    ``status`` is one of ``completed`` / ``rejected`` (admission
+    control) / ``timeout`` (deadline passed while queued or retrying) /
+    ``cancelled`` (explicit :meth:`LlmService.cancel`) / ``failed``
+    (permanent fault, or transient faults past the retry cap).  Only
+    completed requests carry a report.  ``service_s`` includes the time
+    consumed by failed attempts and retry backoff — the engine was held
+    for that span on this request's behalf.
+    """
 
     request_id: int
     model: str
     arrival_s: float
     start_s: float
     finish_s: float
-    report: InferenceReport
+    report: Optional[InferenceReport] = None
+    tier: str = INTERACTIVE_TIER.name
+    status: str = "completed"
+    retries: int = 0
 
     @property
     def queueing_s(self) -> float:
@@ -50,6 +179,12 @@ class ServedRequest:
     @property
     def turnaround_s(self) -> float:
         return self.finish_s - self.arrival_s
+
+    def key(self) -> Tuple:
+        """Canonical value tuple (determinism checks compare these)."""
+        return (self.request_id, self.model, self.tier, self.status,
+                self.retries, self.arrival_s, self.start_s, self.finish_s,
+                None if self.report is None else self.report.e2e_latency_s)
 
 
 class ChatSession:
@@ -86,7 +221,8 @@ class ChatSession:
 
 @dataclass
 class ServiceStats:
-    """Aggregate service metrics."""
+    """Aggregate service metrics (legacy view; see also
+    :class:`~repro.core.results.ServiceMetrics` for the per-tier one)."""
 
     n_requests: int
     preparation_s: float
@@ -98,16 +234,40 @@ class ServiceStats:
 
 
 class LlmService:
-    """A shared on-device LLM service over prepared llm.npu engines."""
+    """A shared on-device LLM service over prepared llm.npu engines.
+
+    ``scheduler`` is ``'priority'`` (tier-aware dispatch) or ``'fifo'``
+    (pure arrival order — the seed's single-queue behaviour, kept as the
+    comparison baseline).  ``admission`` toggles the SLO-based admission
+    controller on the :meth:`enqueue`/:meth:`run` path.  ``fault_spec``
+    attaches one deterministic fault injector shared by every engine the
+    service prepares.
+    """
 
     def __init__(self, device: Union[str, SocSpec],
-                 config: Optional[EngineConfig] = None):
+                 config: Optional[EngineConfig] = None,
+                 scheduler: str = "priority",
+                 admission: bool = True,
+                 fault_spec: Optional[FaultSpec] = None,
+                 tiers: Optional[Dict[str, TierPolicy]] = None):
+        if scheduler not in ("priority", "fifo"):
+            raise EngineError(
+                f"unknown scheduler {scheduler!r}; use 'priority' or 'fifo'"
+            )
         self.device = get_device(device) if isinstance(device, str) else device
         self.config = config if config is not None else EngineConfig()
+        self.scheduler = scheduler
+        self.admission = admission
+        self.tiers = dict(DEFAULT_TIERS if tiers is None else tiers)
+        self.fault_injector = (FaultInjector(fault_spec)
+                               if fault_spec is not None else None)
         self._engines: Dict[str, LlmNpuEngine] = {}
         self._prepared: Dict[str, float] = {}
+        self._clocks: Dict[str, float] = {}
         self._requests: List[ServedRequest] = []
-        self._clock_s = 0.0
+        self._pending: Dict[str, List[ServiceRequest]] = {}
+        self._cancelled: set = set()
+        self._est_cache: Dict[Tuple, InferenceReport] = {}
         self._next_id = 0
 
     # -- engine lifecycle -----------------------------------------------------
@@ -115,16 +275,18 @@ class LlmService:
     def engine_for(self, model: Union[str, ModelConfig]) -> LlmNpuEngine:
         """The prepared engine for a model; prepares (once) on first use.
 
-        Preparation time advances the service clock — the first request
-        for a model pays the warm-up, later ones don't (§3.2's point).
+        Preparation time starts that engine's own timeline — the first
+        request for a model pays the warm-up, later ones don't (§3.2's
+        point), and other models' timelines are unaffected.
         """
         cfg = get_model_config(model) if isinstance(model, str) else model
         if cfg.name not in self._engines:
-            engine = LlmNpuEngine(cfg, self.device, self.config)
+            engine = LlmNpuEngine(cfg, self.device, self.config,
+                                  fault_injector=self.fault_injector)
             prep = engine.preparation_s()
             self._engines[cfg.name] = engine
             self._prepared[cfg.name] = prep
-            self._clock_s += prep
+            self._clocks[cfg.name] = prep
         return self._engines[cfg.name]
 
     @property
@@ -140,36 +302,131 @@ class LlmService:
                 raise EngineError(f"model {model!r} not prepared") from None
         return sum(self._prepared.values())
 
-    # -- serving ------------------------------------------------------------------
+    def engine_clock_s(self, model: str) -> float:
+        """Current time on one engine's independent timeline."""
+        try:
+            return self._clocks[model]
+        except KeyError:
+            raise EngineError(f"model {model!r} not prepared") from None
+
+    def _tier(self, tier: Union[str, TierPolicy]) -> TierPolicy:
+        if isinstance(tier, TierPolicy):
+            return tier
+        try:
+            return self.tiers[tier]
+        except KeyError:
+            raise EngineError(
+                f"unknown tier {tier!r}; available: {sorted(self.tiers)}"
+            ) from None
+
+    # -- cost estimation ------------------------------------------------------
+
+    def _estimate(self, engine: LlmNpuEngine,
+                  req: ServiceRequest) -> InferenceReport:
+        """Deterministic service-time estimate (== the actual report).
+
+        The simulator is deterministic, so the admission controller's
+        estimate and the eventual execution are the same computation;
+        memoization makes re-estimating queued requests free.  Fault
+        draws are suspended — estimation must not perturb the injected
+        fault stream.
+        """
+        key = (req.model, req.prompt_tokens, req.output_tokens,
+               req.cached_tokens)
+        if key not in self._est_cache:
+            if self.fault_injector is not None:
+                with self.fault_injector.suspended():
+                    report = engine.infer(req.prompt_tokens,
+                                          req.output_tokens,
+                                          cached_tokens=req.cached_tokens)
+            else:
+                report = engine.infer(req.prompt_tokens, req.output_tokens,
+                                      cached_tokens=req.cached_tokens)
+            self._est_cache[key] = report
+        return self._est_cache[key]
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, engine: LlmNpuEngine, req: ServiceRequest,
+                 dispatch_s: float) -> ServedRequest:
+        """Run one dispatched request, retrying transient faults.
+
+        The engine is held from ``dispatch_s`` until the returned
+        record's ``finish_s`` (mobile NPUs don't preempt): failed
+        attempts consume :data:`FAULT_ATTEMPT_FRACTION` of the service
+        estimate, then the tier's exponential backoff elapses before the
+        next attempt.  A request that would retry past its deadline
+        gives up with status ``timeout``.
+        """
+        est = self._estimate(engine, req)
+        now = dispatch_s
+        attempts = 0
+        while True:
+            attempts += 1
+            kind = None
+            try:
+                engine.check_fault()
+            except TransientEngineError:
+                kind = "transient"
+            except PermanentEngineError:
+                kind = "permanent"
+            if kind is None:
+                finish, status, report = now + est.e2e_latency_s, \
+                    "completed", est
+                break
+            now += FAULT_ATTEMPT_FRACTION * est.e2e_latency_s
+            if kind == "permanent" or attempts > req.tier.max_retries:
+                finish, status, report = now, "failed", None
+                break
+            now += req.tier.retry_backoff_s * (2 ** (attempts - 1))
+            if now > req.deadline_s:
+                finish, status, report = now, "timeout", None
+                break
+        return ServedRequest(
+            request_id=req.request_id,
+            model=req.model,
+            arrival_s=req.arrival_s,
+            start_s=dispatch_s,
+            finish_s=finish,
+            report=report,
+            tier=req.tier.name,
+            status=status,
+            retries=attempts - 1,
+        )
+
+    # -- synchronous serving (legacy path) ------------------------------------
 
     def submit(self, model: Union[str, ModelConfig], prompt_tokens: int,
                output_tokens: int = 0,
                arrival_s: Optional[float] = None,
-               cached_tokens: int = 0) -> ServedRequest:
-        """Serve one request FIFO; returns its service record.
+               cached_tokens: int = 0,
+               tier: Union[str, TierPolicy] = INTERACTIVE_TIER.name,
+               timeout_s: Optional[float] = None) -> ServedRequest:
+        """Serve one request immediately; returns its service record.
 
-        ``arrival_s`` defaults to "now" (the current clock); an arrival in
-        the past queues behind whatever is running.  ``cached_tokens``
-        reuses an established KV cache (multi-turn conversations).
+        ``arrival_s`` defaults to "now" (the engine's current clock); an
+        arrival in the past queues behind whatever is running on *that
+        engine's* timeline.  The synchronous path bypasses admission
+        control and, unless ``timeout_s`` is given, never times out —
+        the caller is blocking on this request.
         """
         engine = self.engine_for(model)
-        arrival = self._clock_s if arrival_s is None else float(arrival_s)
-        if arrival > self._clock_s:
-            self._clock_s = arrival  # idle until the request arrives
-        start = self._clock_s
-        report = engine.infer(prompt_tokens, output_tokens,
-                              cached_tokens=cached_tokens)
-        finish = start + report.e2e_latency_s
-        self._clock_s = finish
-        record = ServedRequest(
+        name = engine.model.name
+        clock = self._clocks[name]
+        arrival = clock if arrival_s is None else float(arrival_s)
+        req = ServiceRequest(
             request_id=self._next_id,
-            model=engine.model.name,
+            model=name,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            cached_tokens=cached_tokens,
             arrival_s=arrival,
-            start_s=start,
-            finish_s=finish,
-            report=report,
+            tier=self._tier(tier),
+            timeout_s=math.inf if timeout_s is None else float(timeout_s),
         )
         self._next_id += 1
+        record = self._execute(engine, req, max(clock, arrival))
+        self._clocks[name] = max(clock, record.finish_s)
         self._requests.append(record)
         return record
 
@@ -182,8 +439,8 @@ class LlmService:
         # Prepare the engine before the arrival clock starts: workload
         # requests queue behind each other, not behind the one-time
         # preparation (which the service pays at model-load time).
-        self.engine_for(model)
-        base = self._clock_s
+        engine = self.engine_for(model)
+        base = self._clocks[engine.model.name]
         out = []
         for i, sample in enumerate(samples):
             out.append(self.submit(
@@ -196,6 +453,123 @@ class LlmService:
         """Start a multi-turn conversation with KV-cache reuse."""
         return ChatSession(self, model)
 
+    # -- scheduled serving (enqueue/run path) ---------------------------------
+
+    def enqueue(self, model: Union[str, ModelConfig], prompt_tokens: int,
+                output_tokens: int = 0,
+                arrival_s: float = 0.0,
+                cached_tokens: int = 0,
+                tier: Union[str, TierPolicy] = INTERACTIVE_TIER.name,
+                timeout_s: Optional[float] = None) -> int:
+        """Queue one request for the next :meth:`run`; returns its id.
+
+        ``arrival_s`` is measured from the engine's *service-ready
+        epoch* (the instant its one-time preparation finished), so
+        arrival streams describe steady-state load and never queue
+        behind the warm-up.  ``timeout_s`` defaults to the tier's
+        policy.
+        """
+        if arrival_s < 0:
+            raise EngineError("arrival_s must be non-negative")
+        engine = self.engine_for(model)
+        policy = self._tier(tier)
+        req = ServiceRequest(
+            request_id=self._next_id,
+            model=engine.model.name,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            cached_tokens=cached_tokens,
+            arrival_s=self._prepared[engine.model.name] + float(arrival_s),
+            tier=policy,
+            timeout_s=(policy.timeout_s if timeout_s is None
+                       else float(timeout_s)),
+        )
+        self._next_id += 1
+        self._pending.setdefault(req.model, []).append(req)
+        return req.request_id
+
+    def cancel(self, request_id: int) -> None:
+        """Cancel a still-pending request (a no-op once it has run)."""
+        self._cancelled.add(request_id)
+
+    def _shed(self, req: ServiceRequest, at_s: float,
+              status: str) -> ServedRequest:
+        """A record for a request that never ran (no engine time used)."""
+        return ServedRequest(
+            request_id=req.request_id, model=req.model,
+            arrival_s=req.arrival_s, start_s=at_s, finish_s=at_s,
+            report=None, tier=req.tier.name, status=status, retries=0,
+        )
+
+    def _admit(self, queue: RequestQueue, req: ServiceRequest,
+               free_s: float, records: List[ServedRequest]) -> None:
+        """Process one arrival: cancel, reject, or push onto the queue.
+
+        The projected queueing delay is the engine's remaining busy time
+        plus the estimated service of every queued request that would be
+        dispatched before this one (higher key in the queue's order).
+        """
+        if req.request_id in self._cancelled:
+            records.append(self._shed(req, req.arrival_s, "cancelled"))
+            return
+        if self.admission:
+            engine = self._engines[req.model]
+            wait = max(0.0, free_s - req.arrival_s)
+            for queued in queue:
+                if queue.precedes(queued, req):
+                    wait += self._estimate(engine, queued).e2e_latency_s
+            if wait > req.tier.slo_queueing_s:
+                records.append(self._shed(req, req.arrival_s, "rejected"))
+                return
+        queue.push(req)
+
+    def run(self) -> List[ServedRequest]:
+        """Play every pending arrival stream to completion.
+
+        Engines are processed in sorted model order, each on its own
+        timeline; within an engine the event loop alternates between
+        admitting the arrivals that occurred up to the engine's next
+        free instant and dispatching the best queued request.  The
+        result (and every admission decision) is a pure function of the
+        enqueued requests, the scheduler mode, and the fault spec.
+        """
+        new_records: List[ServedRequest] = []
+        for model_name in sorted(self._pending):
+            reqs = sorted(self._pending[model_name],
+                          key=lambda r: (r.arrival_s, r.request_id))
+            engine = self._engines[model_name]
+            free_s = self._clocks[model_name]
+            queue = RequestQueue(self.scheduler)
+            idx = 0
+            while idx < len(reqs) or queue:
+                while idx < len(reqs) and reqs[idx].arrival_s <= free_s:
+                    self._admit(queue, reqs[idx], free_s, new_records)
+                    idx += 1
+                if not queue:
+                    if idx < len(reqs):
+                        # engine idles until the next arrival
+                        free_s = max(free_s, reqs[idx].arrival_s)
+                        continue
+                    break
+                req = queue.pop()
+                if req.request_id in self._cancelled:
+                    new_records.append(self._shed(req, req.arrival_s,
+                                                  "cancelled"))
+                    continue
+                if free_s > req.deadline_s:
+                    # waited past its deadline: cancelled, engine unused
+                    new_records.append(self._shed(req, req.deadline_s,
+                                                  "timeout"))
+                    continue
+                record = self._execute(engine, req, free_s)
+                free_s = max(free_s, record.finish_s)
+                new_records.append(record)
+            self._clocks[model_name] = free_s
+        self._pending.clear()
+        new_records.sort(key=lambda r: r.request_id)
+        self._requests.extend(new_records)
+        return new_records
+
     # -- reporting ----------------------------------------------------------------
 
     @property
@@ -203,18 +577,27 @@ class LlmService:
         return list(self._requests)
 
     def stats(self) -> ServiceStats:
+        """Legacy aggregate view over *completed* requests."""
         if not self._requests:
             raise EngineError("no requests served yet")
-        turnarounds = np.array([r.turnaround_s for r in self._requests])
-        queueing = np.array([r.queueing_s for r in self._requests])
-        span = self._clock_s - self._requests[0].arrival_s
+        done = [r for r in self._requests if r.status == "completed"]
+        if not done:
+            raise EngineError("no requests completed yet")
+        turnarounds = np.array([r.turnaround_s for r in done])
+        queueing = np.array([r.queueing_s for r in done])
+        span = (max(r.finish_s for r in self._requests)
+                - min(r.arrival_s for r in self._requests))
         return ServiceStats(
-            n_requests=len(self._requests),
+            n_requests=len(done),
             preparation_s=self.preparation_s(),
             mean_turnaround_s=float(turnarounds.mean()),
             p95_turnaround_s=float(np.percentile(turnarounds, 95)),
             mean_queueing_s=float(queueing.mean()),
-            total_energy_j=sum(r.report.energy_j for r in self._requests),
-            throughput_rps=(len(self._requests) / span if span > 0
+            total_energy_j=sum(r.report.energy_j for r in done),
+            throughput_rps=(len(done) / span if span > 0
                             else float("inf")),
         )
+
+    def metrics(self) -> ServiceMetrics:
+        """Per-tier service metrics over everything served so far."""
+        return summarize_service(self._requests)

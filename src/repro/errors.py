@@ -65,5 +65,15 @@ class EngineError(ReproError):
     """Top-level engine failure (prefill/decode pipeline)."""
 
 
+class TransientEngineError(EngineError):
+    """A recoverable engine failure (e.g. a driver-level graph-submit
+    hiccup).  The service layer retries these with bounded backoff."""
+
+
+class PermanentEngineError(EngineError):
+    """An unrecoverable engine failure.  Retrying cannot help; the
+    service layer fails the request immediately."""
+
+
 class WorkloadError(ReproError):
     """Synthetic workload generation failure."""

@@ -36,7 +36,16 @@ from repro.eval.latency import (
     table5_e2e,
 )
 from repro.eval.report import Table, archive, results_dir
-from repro.eval.service_eval import service_engine_comparison, service_load
+from repro.eval.service_eval import (
+    EXPERIMENT_TIERS,
+    service_engine_comparison,
+    service_fault_recovery,
+    service_golden_records,
+    service_golden_snapshot,
+    service_load,
+    service_tier_comparison,
+    two_tier_arrivals,
+)
 from repro.eval.summary import generate_report
 from repro.eval.validation import ANCHORS, Anchor, calibration_dashboard
 
@@ -69,6 +78,12 @@ __all__ = [
     "calibration_dashboard",
     "service_load",
     "service_engine_comparison",
+    "service_tier_comparison",
+    "service_fault_recovery",
+    "service_golden_records",
+    "service_golden_snapshot",
+    "two_tier_arrivals",
+    "EXPERIMENT_TIERS",
     "generate_report",
     "Anchor",
     "ANCHORS",

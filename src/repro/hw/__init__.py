@@ -24,6 +24,8 @@ from repro.hw.memory import GiB, MiB, MemorySpace, SocMemory
 from repro.hw.npu_graph import NpuGraphCostModel, graph_ops_for_model
 from repro.hw.processor import DType, MatMulProfile, ProcKind, ProcessorSpec
 from repro.hw.sim import (
+    FaultInjector,
+    FaultSpec,
     FifoPolicy,
     SchedulingPolicy,
     SimContext,
@@ -69,6 +71,8 @@ __all__ = [
     "Task",
     "SchedulingPolicy",
     "FifoPolicy",
+    "FaultSpec",
+    "FaultInjector",
     "SimContext",
     "critical_path_s",
     "Trace",

@@ -11,11 +11,121 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
-from repro.errors import DependencyError, SchedulingError
+import numpy as np
+
+from repro.errors import (
+    DependencyError,
+    PermanentEngineError,
+    SchedulingError,
+    TransientEngineError,
+)
 from repro.hw.trace import Trace, TraceEvent
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Configuration of the deterministic fault-injection hook.
+
+    ``transient_rate`` / ``permanent_rate`` are per-execution fault
+    probabilities drawn from a seeded stream (so a given spec always
+    injects the same faults at the same execution indices).  ``script``
+    overrides the stochastic draws entirely with an explicit per-draw
+    fault sequence — the handle the tests use to pin failures to exact
+    attempts; draws past the end of the script are fault-free.
+    """
+
+    transient_rate: float = 0.0
+    permanent_rate: float = 0.0
+    seed: int = 0
+    script: Optional[Tuple[Optional[str], ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.transient_rate <= 1.0:
+            raise SchedulingError("transient_rate must be in [0, 1]")
+        if not 0.0 <= self.permanent_rate <= 1.0:
+            raise SchedulingError("permanent_rate must be in [0, 1]")
+        if self.transient_rate + self.permanent_rate > 1.0:
+            raise SchedulingError("fault rates must sum to at most 1")
+        if self.script is not None:
+            for kind in self.script:
+                if kind not in (None, "transient", "permanent"):
+                    raise SchedulingError(
+                        f"unknown scripted fault kind {kind!r}"
+                    )
+
+
+class FaultInjector:
+    """Seeded deterministic fault source for engine executions.
+
+    Engines call :meth:`check` once per execution attempt; the injector
+    either returns silently or raises a typed
+    :class:`~repro.errors.EngineError` subclass.  Draws are consumed from
+    a seeded RNG (or a fixed script), so the fault pattern is a pure
+    function of the spec and the attempt sequence.  While suspended (see
+    :meth:`suspended`), checks are free: no draw is consumed and no fault
+    fires — the service layer uses this for cost *estimation* runs that
+    must not perturb the fault stream.
+    """
+
+    def __init__(self, spec: Optional[FaultSpec] = None):
+        self.spec = spec if spec is not None else FaultSpec()
+        self._rng = np.random.default_rng(self.spec.seed)
+        self._n_draws = 0
+        self._n_injected: Dict[str, int] = {"transient": 0, "permanent": 0}
+        self._suspend_depth = 0
+
+    def draw(self) -> Optional[str]:
+        """One fault draw: ``None``, ``'transient'`` or ``'permanent'``."""
+        if self._suspend_depth > 0:
+            return None
+        index = self._n_draws
+        self._n_draws += 1
+        if self.spec.script is not None:
+            kind = (self.spec.script[index]
+                    if index < len(self.spec.script) else None)
+        else:
+            u = float(self._rng.random())
+            if u < self.spec.permanent_rate:
+                kind = "permanent"
+            elif u < self.spec.permanent_rate + self.spec.transient_rate:
+                kind = "transient"
+            else:
+                kind = None
+        if kind is not None:
+            self._n_injected[kind] += 1
+        return kind
+
+    def check(self) -> None:
+        """Raise the typed error for this execution attempt, if any."""
+        kind = self.draw()
+        if kind == "transient":
+            raise TransientEngineError(
+                f"injected transient engine fault (draw #{self._n_draws})"
+            )
+        if kind == "permanent":
+            raise PermanentEngineError(
+                f"injected permanent engine fault (draw #{self._n_draws})"
+            )
+
+    @contextmanager
+    def suspended(self):
+        """Context manager: no draws are consumed, no faults fire."""
+        self._suspend_depth += 1
+        try:
+            yield self
+        finally:
+            self._suspend_depth -= 1
+
+    @property
+    def n_draws(self) -> int:
+        return self._n_draws
+
+    def n_injected(self, kind: str) -> int:
+        return self._n_injected[kind]
 
 
 @dataclass(frozen=True)

@@ -49,8 +49,9 @@ class TestParser:
 class TestExperimentRegistry:
     def test_registry_complete(self):
         # every table and figure of the evaluation section (14) plus the
-        # extension ablations and the calibration dashboard
-        assert len(EXPERIMENTS) == 24
+        # extension ablations, the calibration dashboard, and the
+        # service-layer experiments
+        assert len(EXPERIMENTS) == 26
         paper = [n for n in EXPERIMENTS
                  if n.startswith(("fig", "table"))]
         assert len(paper) == 14
