@@ -8,6 +8,7 @@ service drowns in queueing.
 from conftest import show_and_archive
 
 from repro.eval import (
+    service_breakdown,
     service_engine_comparison,
     service_fault_recovery,
     service_load,
@@ -58,6 +59,29 @@ def test_service_tier_scheduling(once):
     assert sched[5] > 0
     # both schedules drive the same engine: utilization stays comparable
     assert sched[7] > 0.3
+
+
+def test_service_latency_breakdown(once):
+    """Turnaround decomposes exactly into queue/retry/prefill/decode."""
+    table = once(service_breakdown)
+    show_and_archive(table, "service_breakdown.txt")
+
+    # breakdown_table re-validates per-request sums (1e-9 s) before
+    # rendering; here assert the aggregate story: the background tier's
+    # turnaround is queueing-dominated, the interactive tier's is not.
+    from repro.eval import service_golden_records
+    from repro.obs import breakdown_requests, validate_breakdowns
+    breakdowns = breakdown_requests(service_golden_records().requests)
+    validate_breakdowns(breakdowns)
+
+    bg = table.row_by_key("background")
+    interactive = table.row_by_key("interactive")
+    cols = table.columns
+    queue, turnaround = cols.index("queue s"), cols.index("turnaround s")
+    prefill = cols.index("prefill s")
+    assert bg[queue] > 0.5 * bg[turnaround]
+    assert interactive[queue] < interactive[turnaround]
+    assert interactive[prefill] > 0
 
 
 def test_service_fault_recovery(once):

@@ -5,6 +5,12 @@
 # nondeterminism that leaks into admission decisions, queue order,
 # retry timing, or the underlying simulator (hash-order iteration,
 # wall-clock reads, unseeded RNG...).
+#
+# The same pairing is applied to the *unified observability trace*: the
+# merged service+hardware Perfetto export must also be byte-identical —
+# the tracer stamps only sim-clock times and the exporter's pid/tid
+# mapping and event order are sorted, so any diff means wall-clock or
+# hash-order leakage into the observability layer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -14,9 +20,16 @@ snapshot() {
 print(service_golden_snapshot(seed=42))'
 }
 
+trace() {
+    python -c 'from repro.eval import service_golden_trace
+print(service_golden_trace(seed=42))'
+}
+
 out1=$(mktemp)
 out2=$(mktemp)
-trap 'rm -f "$out1" "$out2"' EXIT
+trace1=$(mktemp)
+trace2=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$trace1" "$trace2"' EXIT
 
 snapshot > "$out1"
 snapshot > "$out2"
@@ -27,3 +40,13 @@ if ! diff -u "$out1" "$out2"; then
 fi
 echo "OK: golden service report is byte-identical across runs" \
      "($(wc -l < "$out1") lines)"
+
+trace > "$trace1"
+trace > "$trace2"
+
+if ! cmp -s "$trace1" "$trace2"; then
+    echo "FAIL: consecutive golden trace exports differ" >&2
+    exit 1
+fi
+echo "OK: golden unified trace is byte-identical across runs" \
+     "($(wc -c < "$trace1") bytes)"

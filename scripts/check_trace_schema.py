@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate an observability export (stdlib only — CI-friendly).
+
+Two modes, selectable by file content:
+
+* ``*.jsonl`` event logs written by :func:`repro.obs.write_jsonl` —
+  one JSON object per line, each a ``span`` / ``instant`` / ``metric``
+  record.  Checks required keys, types, non-negative timestamps, span
+  end >= start, and that metric records carry a numeric payload.
+* Chrome-trace JSON written by :func:`repro.obs.export_service_trace`
+  (a single JSON array) — checks the metadata/body event shapes and
+  that no two complete events overlap on the same (pid, tid) track.
+
+Usage::
+
+    python scripts/check_trace_schema.py traces/service.jsonl \
+        traces/service_trace.json
+
+Exits non-zero with a line-numbered message on the first violation.
+"""
+
+import json
+import sys
+
+SPAN_KEYS = {"type", "name", "cat", "proc", "thread", "start_s", "end_s",
+             "args"}
+INSTANT_KEYS = {"type", "name", "cat", "proc", "thread", "ts_s", "args"}
+METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_jsonl_record(record, where):
+    kind = record.get("type")
+    if kind == "span":
+        missing = SPAN_KEYS - set(record)
+        if missing:
+            fail(f"{where}: span missing keys {sorted(missing)}")
+        if not isinstance(record["start_s"], (int, float)) \
+                or not isinstance(record["end_s"], (int, float)):
+            fail(f"{where}: span timestamps must be numbers")
+        if record["end_s"] < record["start_s"]:
+            fail(f"{where}: span ends before it starts")
+        if record["start_s"] < 0:
+            fail(f"{where}: negative span start")
+    elif kind == "instant":
+        missing = INSTANT_KEYS - set(record)
+        if missing:
+            fail(f"{where}: instant missing keys {sorted(missing)}")
+        if not isinstance(record["ts_s"], (int, float)):
+            fail(f"{where}: instant timestamp must be a number")
+        if record["ts_s"] < 0:
+            fail(f"{where}: negative instant timestamp")
+    elif kind == "metric":
+        if record.get("kind") not in METRIC_KINDS:
+            fail(f"{where}: metric kind {record.get('kind')!r} not in "
+                 f"{sorted(METRIC_KINDS)}")
+        if not isinstance(record.get("labels"), dict):
+            fail(f"{where}: metric labels must be an object")
+        if record["kind"] == "histogram":
+            for key in ("count", "sum", "mean", "p50", "p95", "max"):
+                if not isinstance(record.get(key), (int, float)):
+                    fail(f"{where}: histogram missing numeric {key!r}")
+        elif not isinstance(record.get("value"), (int, float)):
+            fail(f"{where}: {record['kind']} missing numeric 'value'")
+    else:
+        fail(f"{where}: unknown record type {kind!r}")
+    return kind
+
+
+def check_jsonl(path):
+    counts = {"span": 0, "instant": 0, "metric": 0}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                fail(f"{path}:{lineno}: invalid JSON ({exc})")
+            counts[check_jsonl_record(record, f"{path}:{lineno}")] += 1
+    if counts["span"] == 0:
+        fail(f"{path}: no span records")
+    if counts["metric"] == 0:
+        fail(f"{path}: no metric records")
+    print(f"OK: {path}: {counts['span']} spans, {counts['instant']} "
+          f"instants, {counts['metric']} metrics")
+
+
+def check_chrome(path, events):
+    tracks = {}
+    named = set()
+    for i, e in enumerate(events):
+        where = f"{path}[{i}]"
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name"):
+                fail(f"{where}: unknown metadata {e.get('name')!r}")
+            if "name" not in e.get("args", {}):
+                fail(f"{where}: metadata without args.name")
+            named.add((e["pid"], e.get("tid", 0)))
+        elif ph == "X":
+            for key in ("name", "cat", "pid", "tid", "ts", "dur"):
+                if key not in e:
+                    fail(f"{where}: complete event missing {key!r}")
+            if e["dur"] < 0 or e["ts"] < 0:
+                fail(f"{where}: negative ts/dur")
+            tracks.setdefault((e["pid"], e["tid"]), []).append(e)
+        elif ph == "i":
+            for key in ("name", "pid", "tid", "ts"):
+                if key not in e:
+                    fail(f"{where}: instant event missing {key!r}")
+        else:
+            fail(f"{where}: unknown phase {ph!r}")
+    n_overlap_checked = 0
+    for (pid, tid), track in sorted(tracks.items()):
+        if not any(p == pid for p, _t in named):
+            fail(f"{path}: pid {pid} has events but no process_name")
+        track.sort(key=lambda ev: (ev["ts"], ev["ts"] + ev["dur"]))
+        for a, b in zip(track, track[1:]):
+            n_overlap_checked += 1
+            if b["ts"] < a["ts"] + a["dur"] - 1e-6:  # 1e-12 s in µs
+                fail(f"{path}: pid {pid} tid {tid}: {a['name']!r} and "
+                     f"{b['name']!r} overlap")
+    if not tracks:
+        fail(f"{path}: no complete events")
+    print(f"OK: {path}: {sum(map(len, tracks.values()))} spans on "
+          f"{len(tracks)} tracks, serial per track "
+          f"({n_overlap_checked} adjacencies checked)")
+
+
+def check_file(path):
+    with open(path) as f:
+        head = f.read(1)
+    if head == "[":
+        with open(path) as f:
+            check_chrome(path, json.load(f))
+    else:
+        check_jsonl(path)
+
+
+def main(argv):
+    if not argv:
+        print(__doc__)
+        return 2
+    for path in argv:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

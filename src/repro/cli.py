@@ -18,6 +18,7 @@ from typing import Dict, List
 from repro.eval import (
     ablation_chunk_length,
     calibration_dashboard,
+    service_breakdown,
     service_fault_recovery,
     service_load,
     service_tier_comparison,
@@ -82,6 +83,9 @@ EXPERIMENTS: Dict[str, tuple] = {
                       service_tier_comparison),
     "service-faults": ("retry-with-backoff under injected engine faults",
                        service_fault_recovery),
+    "service-breakdown": ("per-tier turnaround decomposition "
+                          "(queue/retry/prefill/decode)",
+                          service_breakdown),
 }
 
 
@@ -111,12 +115,27 @@ def cmd_run(args) -> int:
             print(f"unknown experiment {name!r}; try `llmnpu list`",
                   file=sys.stderr)
             return 2
+    import inspect
     for name in names:
         desc, fn = EXPERIMENTS[name]
         print(f"== {name}: {desc} ==")
         start = time.time()
-        result = fn()
+        kwargs = {}
+        params = inspect.signature(fn).parameters
+        for flag in ("trace_out", "metrics_out"):
+            value = getattr(args, flag, None)
+            if value and flag in params:
+                kwargs[flag] = value
+        result = fn(**kwargs)
         _print_tables(result, save_as=name if args.save else "")
+        for flag, label in (("trace_out", "trace"),
+                            ("metrics_out", "metrics")):
+            if getattr(args, flag, None):
+                if flag in kwargs:
+                    print(f"[{label} written to {kwargs[flag]}]")
+                else:
+                    print(f"[--{flag.replace('_', '-')} ignored: "
+                          f"{name} does not export a {label}]")
         print(f"[{name} took {time.time() - start:.1f}s]\n")
     return 0
 
@@ -171,15 +190,75 @@ def cmd_quantize(args) -> int:
 
 def cmd_infer(args) -> int:
     from repro.core import LlmNpuEngine
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+        tracer = Tracer()
     engine = LlmNpuEngine.build(args.model, args.device,
                                 pruning_rate=args.pruning_rate,
-                                chunk_len=args.chunk_len)
+                                chunk_len=args.chunk_len,
+                                tracer=tracer)
     report = engine.infer(args.prompt_tokens, args.output_tokens)
     print(report.summary())
     if report.prefill.trace is not None:
         print(f"NPU bubble rate: {report.prefill.npu_bubble_rate:.1%}  "
               f"NPU busy: {report.prefill.npu_busy_s:.3f}s  "
               f"float busy: {report.prefill.float_busy_s:.3f}s")
+    if args.trace_out:
+        from repro.obs import save_chrome_trace
+        # merge the engine-level spans with the prefill task schedule
+        if report.prefill.trace is not None:
+            for ev in report.prefill.trace.events:
+                tracer.span(ev.task_id, proc=f"hw {engine.model.name}",
+                            thread=ev.proc, start_s=ev.start_s,
+                            end_s=ev.end_s, cat=ev.tag or "task")
+        save_chrome_trace(args.trace_out, tracer)
+        print(f"[trace written to {args.trace_out}]")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+        reg = MetricsRegistry()
+        reg.counter("infer_requests_total", model=engine.model.name).inc()
+        reg.counter("infer_prompt_tokens_total").inc(report.prompt_tokens)
+        reg.counter("infer_output_tokens_total").inc(report.output_tokens)
+        reg.histogram("infer_prefill_s").observe(report.prefill_latency_s)
+        reg.histogram("infer_decode_s").observe(report.decode_latency_s)
+        reg.gauge("infer_npu_bubble_rate").set(
+            report.prefill.npu_bubble_rate)
+        reg.save(args.metrics_out)
+        print(f"[metrics written to {args.metrics_out}]")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run the seeded golden service workload fully traced and export
+    the unified timeline, the JSONL event log, the metrics snapshot,
+    and the per-tier latency breakdown."""
+    from repro.eval import service_golden_records
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        breakdown_table,
+        export_service_trace,
+        write_jsonl,
+    )
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    service = service_golden_records(seed=args.seed, tracer=tracer,
+                                     metrics=metrics)
+    events = export_service_trace(service, args.trace_out,
+                                  validate=not args.no_validate)
+    n_spans = sum(1 for e in events if e.get("ph") == "X")
+    print(f"[unified trace: {len(events)} events ({n_spans} spans) "
+          f"-> {args.trace_out}]")
+    if args.jsonl_out:
+        n = write_jsonl(args.jsonl_out, tracer=service.tracer,
+                        metrics=service.metrics_registry)
+        print(f"[JSONL event log: {n} records -> {args.jsonl_out}]")
+    if args.metrics_out:
+        service.metrics_registry.save(args.metrics_out)
+        print(f"[metrics snapshot -> {args.metrics_out}]")
+    print()
+    print(breakdown_table(service.requests).render())
     return 0
 
 
@@ -199,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment ids (or 'all')")
     run.add_argument("--save", action="store_true",
                      help="archive tables under benchmarks/results/")
+    run.add_argument("--trace-out", default=None,
+                     help="write a Perfetto trace (drivers that trace)")
+    run.add_argument("--metrics-out", default=None,
+                     help="write a metrics snapshot (drivers that trace)")
     run.set_defaults(func=cmd_run)
 
     report = sub.add_parser(
@@ -230,7 +313,27 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--output-tokens", type=int, default=8)
     infer.add_argument("--pruning-rate", type=float, default=0.85)
     infer.add_argument("--chunk-len", type=int, default=256)
+    infer.add_argument("--trace-out", default=None,
+                       help="write the engine + task timeline "
+                            "(Chrome/Perfetto JSON)")
+    infer.add_argument("--metrics-out", default=None,
+                       help="write an inference metrics snapshot (JSON)")
     infer.set_defaults(func=cmd_infer)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run the golden service workload fully traced; export the "
+             "unified Perfetto timeline, JSONL log, and metrics",
+    )
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--trace-out", default="traces/service_trace.json")
+    trace.add_argument("--jsonl-out", default=None,
+                       help="also write the JSONL event log")
+    trace.add_argument("--metrics-out", default=None,
+                       help="also write the metrics snapshot (JSON)")
+    trace.add_argument("--no-validate", action="store_true",
+                       help="skip the per-track serial-overlap check")
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -173,14 +173,12 @@ class ServiceMetrics:
             ) from None
 
 
-def _percentile(values: List[float], q: float) -> float:
-    import numpy as np
-    if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+#: Request terminal states counted by the service metrics.
+SERVICE_STATUSES = ("completed", "rejected", "timeout", "cancelled",
+                    "failed")
 
 
-def summarize_service(records) -> ServiceMetrics:
+def summarize_service(records, registry=None) -> ServiceMetrics:
     """Fold a list of ``ServedRequest`` records into service metrics.
 
     The span is the wall-clock window from the earliest arrival to the
@@ -188,47 +186,76 @@ def summarize_service(records) -> ServiceMetrics:
     busy time of completed prefills over that span (with independent
     per-engine timelines it can exceed 1 when several engines run
     concurrently).
+
+    The accounting runs through a
+    :class:`~repro.obs.metrics.MetricsRegistry` — counters for request
+    outcomes and engine-time totals, histograms for latency samples —
+    and the returned :class:`ServiceMetrics` is a read-out of those
+    instruments.  Pass ``registry`` to aggregate into an existing
+    registry (e.g. the service's own, for a ``--metrics-out`` export);
+    by default a fresh one is used, so repeated calls stay idempotent.
+    Aggregation preserves the observation order of ``records``, so the
+    sums and percentiles are bit-identical to the pre-registry
+    accounting.
     """
     from repro.errors import EngineError
+    from repro.obs.metrics import as_registry
     records = list(records)
     if not records:
         raise EngineError("no requests served yet")
+    reg = as_registry(registry)
 
     span = (max(r.finish_s for r in records)
             - min(r.arrival_s for r in records))
-    by_tier: Dict[str, List] = {}
+    tier_names: List[str] = []
     for r in records:
-        by_tier.setdefault(r.tier, []).append(r)
+        if r.tier not in tier_names:
+            tier_names.append(r.tier)
+        reg.counter("service_requests_total",
+                    tier=r.tier, status=r.status).inc()
+        reg.counter("service_retries_total", tier=r.tier).inc(r.retries)
+        if r.status == "completed":
+            reg.histogram("service_turnaround_s",
+                          tier=r.tier).observe(r.turnaround_s)
+            reg.histogram("service_queueing_s",
+                          tier=r.tier).observe(r.queueing_s)
+            reg.counter("service_busy_s").inc(r.service_s)
+            if r.report is not None:
+                reg.counter("service_npu_busy_s").inc(
+                    r.report.prefill.npu_busy_s)
+                reg.counter("service_energy_j").inc(r.report.energy_j)
+
+    def status_count(tier: str, status: str) -> int:
+        return int(reg.value("service_requests_total",
+                             tier=tier, status=status))
 
     tiers: Dict[str, TierStats] = {}
-    for name in sorted(by_tier):
-        rs = by_tier[name]
-        done = [r for r in rs if r.status == "completed"]
-        turnarounds = [r.turnaround_s for r in done]
+    for name in sorted(tier_names):
+        counts = {s: status_count(name, s) for s in SERVICE_STATUSES}
+        turnaround = reg.histogram("service_turnaround_s", tier=name)
+        queueing = reg.histogram("service_queueing_s", tier=name)
+        n_done = counts["completed"]
         tiers[name] = TierStats(
             tier=name,
-            n_requests=len(rs),
-            n_completed=len(done),
-            n_rejected=sum(1 for r in rs if r.status == "rejected"),
-            n_timeout=sum(1 for r in rs if r.status == "timeout"),
-            n_cancelled=sum(1 for r in rs if r.status == "cancelled"),
-            n_failed=sum(1 for r in rs if r.status == "failed"),
-            n_retries=sum(r.retries for r in rs),
-            p50_turnaround_s=_percentile(turnarounds, 50),
-            p95_turnaround_s=_percentile(turnarounds, 95),
-            mean_queueing_s=(sum(r.queueing_s for r in done) / len(done)
-                             if done else 0.0),
-            throughput_rps=(len(done) / span if span > 0 else 0.0),
+            n_requests=sum(counts.values()),
+            n_completed=n_done,
+            n_rejected=counts["rejected"],
+            n_timeout=counts["timeout"],
+            n_cancelled=counts["cancelled"],
+            n_failed=counts["failed"],
+            n_retries=int(reg.value("service_retries_total", tier=name)),
+            p50_turnaround_s=turnaround.percentile(50),
+            p95_turnaround_s=turnaround.percentile(95),
+            mean_queueing_s=queueing.mean,
+            throughput_rps=(n_done / span if span > 0 else 0.0),
         )
 
-    completed = [r for r in records if r.status == "completed"]
-    npu_busy = sum(r.report.prefill.npu_busy_s for r in completed
-                   if r.report is not None)
-    busy = sum(r.service_s for r in completed)
+    npu_busy = reg.value("service_npu_busy_s")
+    busy = reg.value("service_busy_s")
     return ServiceMetrics(
         span_s=span,
-        n_requests=len(records),
-        n_completed=len(completed),
+        n_requests=sum(t.n_requests for t in tiers.values()),
+        n_completed=sum(t.n_completed for t in tiers.values()),
         n_rejected=sum(t.n_rejected for t in tiers.values()),
         n_timeout=sum(t.n_timeout for t in tiers.values()),
         n_cancelled=sum(t.n_cancelled for t in tiers.values()),
@@ -237,7 +264,6 @@ def summarize_service(records) -> ServiceMetrics:
         npu_busy_s=npu_busy,
         npu_utilization=(npu_busy / span if span > 0 else 0.0),
         busy_fraction=(busy / span if span > 0 else 0.0),
-        total_energy_j=sum(r.report.energy_j for r in completed
-                           if r.report is not None),
+        total_energy_j=reg.value("service_energy_j"),
         tiers=tiers,
     )

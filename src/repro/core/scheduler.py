@@ -17,7 +17,7 @@ CPU fed (it will unlock future NPU work during the NPU's busy period).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.hw.sim import SchedulingPolicy, SimContext, Task
 
@@ -164,15 +164,23 @@ class RequestQueue:
     ``request_id``; ties always resolve by request id, so the order is a
     pure function of the queue contents — no wall-clock or hash-order
     nondeterminism can leak in.
+
+    With a :class:`~repro.obs.tracer.Tracer` attached, every push/pop
+    that carries a sim-clock timestamp becomes an instant event on the
+    ``service / scheduler`` track (with the queue depth after the
+    operation), making dispatch decisions inspectable on the unified
+    timeline.
     """
 
-    def __init__(self, mode: str = "priority"):
+    def __init__(self, mode: str = "priority", tracer=None):
         if mode not in ("priority", "fifo"):
             from repro.errors import SchedulingError
             raise SchedulingError(
                 f"unknown queue mode {mode!r}; use 'priority' or 'fifo'"
             )
+        from repro.obs.tracer import as_tracer
         self.mode = mode
+        self.tracer = as_tracer(tracer)
         self._heap: List[tuple] = []
 
     def key(self, entry) -> tuple:
@@ -184,13 +192,26 @@ class RequestQueue:
         """Would ``a`` be dispatched before ``b``?"""
         return self.key(a) < self.key(b)
 
-    def push(self, entry) -> None:
+    def push(self, entry, now_s: Optional[float] = None) -> None:
         import heapq
         heapq.heappush(self._heap, (self.key(entry), entry))
+        if self.tracer.enabled and now_s is not None:
+            self.tracer.instant(
+                "queue.push", proc="service", thread="scheduler",
+                ts_s=now_s, cat="scheduler", mode=self.mode,
+                request_id=entry.request_id, depth=len(self._heap),
+            )
 
-    def pop(self):
+    def pop(self, now_s: Optional[float] = None):
         import heapq
-        return heapq.heappop(self._heap)[1]
+        entry = heapq.heappop(self._heap)[1]
+        if self.tracer.enabled and now_s is not None:
+            self.tracer.instant(
+                "queue.pop", proc="service", thread="scheduler",
+                ts_s=now_s, cat="scheduler", mode=self.mode,
+                request_id=entry.request_id, depth=len(self._heap),
+            )
+        return entry
 
     def peek(self):
         return self._heap[0][1]

@@ -66,12 +66,19 @@ from repro.errors import (
 from repro.hw.sim import FaultInjector, FaultSpec
 from repro.hw.soc import SocSpec, get_device
 from repro.model.config import ModelConfig, get_model_config
+from repro.obs.metrics import MetricsRegistry, as_registry
+from repro.obs.tracer import Tracer, as_tracer
 from repro.workloads.datasets import WorkloadSample
 
 #: Fraction of a request's estimated service time a *failed* execution
 #: attempt consumes before the fault surfaces (the graph dies part-way
 #: through its subgraph schedule, not at submit time).
 FAULT_ATTEMPT_FRACTION = 0.25
+
+
+def request_track(request_id: int) -> str:
+    """Trace-track (thread) name of one request's lifecycle spans."""
+    return f"req {request_id:05d}"
 
 
 @dataclass(frozen=True)
@@ -242,6 +249,17 @@ class LlmService:
     controller on the :meth:`enqueue`/:meth:`run` path.  ``fault_spec``
     attaches one deterministic fault injector shared by every engine the
     service prepares.
+
+    ``tracer`` enables request-scoped tracing: every request's lifecycle
+    (queued → retries → prefill chunks → decode, plus admission /
+    timeout / cancellation markers) lands on the tracer stamped with the
+    service's sim clock — see :mod:`repro.obs` and
+    :func:`repro.obs.export.service_timeline` for the merged
+    hw-plus-service Perfetto export.  Tracing is pure observation: with
+    or without it, the served records are bit-identical.  ``metrics``
+    supplies the live :class:`~repro.obs.metrics.MetricsRegistry`
+    (request outcomes, admission decisions, fault counts, latency
+    histograms); a fresh registry is created when omitted.
     """
 
     def __init__(self, device: Union[str, SocSpec],
@@ -249,7 +267,9 @@ class LlmService:
                  scheduler: str = "priority",
                  admission: bool = True,
                  fault_spec: Optional[FaultSpec] = None,
-                 tiers: Optional[Dict[str, TierPolicy]] = None):
+                 tiers: Optional[Dict[str, TierPolicy]] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if scheduler not in ("priority", "fifo"):
             raise EngineError(
                 f"unknown scheduler {scheduler!r}; use 'priority' or 'fifo'"
@@ -259,8 +279,12 @@ class LlmService:
         self.scheduler = scheduler
         self.admission = admission
         self.tiers = dict(DEFAULT_TIERS if tiers is None else tiers)
+        self.tracer = as_tracer(tracer)
+        self.metrics_registry = as_registry(metrics)
         self.fault_injector = (FaultInjector(fault_spec)
                                if fault_spec is not None else None)
+        if self.fault_injector is not None and self.tracer.enabled:
+            self.fault_injector.attach_tracer(self.tracer)
         self._engines: Dict[str, LlmNpuEngine] = {}
         self._prepared: Dict[str, float] = {}
         self._clocks: Dict[str, float] = {}
@@ -287,6 +311,16 @@ class LlmService:
             self._engines[cfg.name] = engine
             self._prepared[cfg.name] = prep
             self._clocks[cfg.name] = prep
+            self.metrics_registry.counter(
+                "service_engines_prepared_total").inc()
+            self.metrics_registry.counter(
+                "service_preparation_s").inc(prep)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "prepare", proc=f"hw {cfg.name}", thread="lifecycle",
+                    start_s=0.0, end_s=prep, cat="lifecycle",
+                    model=cfg.name,
+                )
         return self._engines[cfg.name]
 
     @property
@@ -357,15 +391,25 @@ class LlmService:
         estimate, then the tier's exponential backoff elapses before the
         next attempt.  A request that would retry past its deadline
         gives up with status ``timeout``.
+
+        Tracing (when enabled) is strictly observational: spans are
+        emitted alongside the clock arithmetic, never folded into it,
+        so the returned record is identical with tracing on or off.
         """
         est = self._estimate(engine, req)
+        tr = self.tracer
+        track = request_track(req.request_id)
+        if tr.enabled and dispatch_s > req.arrival_s:
+            tr.span("queued", proc="service", thread=track,
+                    start_s=req.arrival_s, end_s=dispatch_s, cat="queue",
+                    tier=req.tier.name)
         now = dispatch_s
         attempts = 0
         while True:
             attempts += 1
             kind = None
             try:
-                engine.check_fault()
+                engine.check_fault(now_s=now)
             except TransientEngineError:
                 kind = "transient"
             except PermanentEngineError:
@@ -373,11 +417,27 @@ class LlmService:
             if kind is None:
                 finish, status, report = now + est.e2e_latency_s, \
                     "completed", est
+                if tr.enabled:
+                    self._trace_success(track, req, est, now)
                 break
+            self.metrics_registry.counter("service_faults_total",
+                                          kind=kind).inc()
+            if tr.enabled:
+                tr.span(f"attempt {attempts}", proc="service",
+                        thread=track, start_s=now,
+                        end_s=now + FAULT_ATTEMPT_FRACTION
+                        * est.e2e_latency_s,
+                        cat="retry", fault=kind, attempt=attempts)
             now += FAULT_ATTEMPT_FRACTION * est.e2e_latency_s
             if kind == "permanent" or attempts > req.tier.max_retries:
                 finish, status, report = now, "failed", None
                 break
+            if tr.enabled:
+                tr.span("backoff", proc="service", thread=track,
+                        start_s=now,
+                        end_s=now + req.tier.retry_backoff_s
+                        * (2 ** (attempts - 1)),
+                        cat="retry", attempt=attempts)
             now += req.tier.retry_backoff_s * (2 ** (attempts - 1))
             if now > req.deadline_s:
                 finish, status, report = now, "timeout", None
@@ -393,6 +453,76 @@ class LlmService:
             status=status,
             retries=attempts - 1,
         )
+
+    def _trace_success(self, track: str, req: ServiceRequest,
+                       est: InferenceReport, start_s: float) -> None:
+        """Spans of one successful execution attempt.
+
+        The request track gets the serial ``prefill`` / ``decode``
+        stages; a sibling ``<track> chunks`` track carries the
+        chunk-completion partition of the prefill (chunk ``c``'s span
+        ends when the simulated schedule finishes its last subgraph), so
+        every track stays serially consistent on the merged timeline.
+        """
+        prefill = est.prefill
+        prefill_end = start_s + prefill.latency_s
+        self.tracer.span(
+            "prefill", proc="service", thread=track, start_s=start_s,
+            end_s=prefill_end, cat="prefill", tier=req.tier.name,
+            prompt_tokens=req.prompt_tokens,
+            cached_tokens=req.cached_tokens, n_chunks=prefill.n_chunks,
+        )
+        if prefill.trace is not None:
+            chunk_track = f"{track} chunks"
+            # latency may exceed the schedule's makespan by serial
+            # graph-preparation time (the naive-engine path)
+            offset = prefill_end - prefill.trace.makespan_s
+            if offset > start_s:
+                self.tracer.span(
+                    "graph prepare", proc="service", thread=chunk_track,
+                    start_s=start_s, end_s=offset, cat="prefill",
+                )
+            chunk_finish: Dict[int, float] = {}
+            for event in prefill.trace.events:
+                head = event.task_id.split(".", 1)[0]
+                if not head.startswith("c"):
+                    continue
+                try:
+                    chunk = int(head[1:])
+                except ValueError:
+                    continue
+                chunk_finish[chunk] = max(chunk_finish.get(chunk, 0.0),
+                                          event.end_s)
+            prev = max(start_s, offset)
+            for chunk in sorted(chunk_finish,
+                                key=lambda c: (chunk_finish[c], c)):
+                end = offset + chunk_finish[chunk]
+                self.tracer.span(
+                    f"chunk {chunk}", proc="service", thread=chunk_track,
+                    start_s=prev, end_s=end, cat="prefill", chunk=chunk,
+                )
+                prev = end
+        if est.decode_latency_s > 0:
+            self.tracer.span(
+                "decode", proc="service", thread=track,
+                start_s=prefill_end,
+                end_s=prefill_end + est.decode_latency_s, cat="decode",
+                tier=req.tier.name, output_tokens=req.output_tokens,
+            )
+
+    def _observe(self, record: ServedRequest) -> None:
+        """Fold one finished record into the live metrics registry."""
+        reg = self.metrics_registry
+        reg.counter("service_requests_total", tier=record.tier,
+                    status=record.status).inc()
+        if record.retries:
+            reg.counter("service_retries_total",
+                        tier=record.tier).inc(record.retries)
+        if record.status == "completed":
+            reg.histogram("service_turnaround_s",
+                          tier=record.tier).observe(record.turnaround_s)
+            reg.histogram("service_queueing_s",
+                          tier=record.tier).observe(record.queueing_s)
 
     # -- synchronous serving (legacy path) ------------------------------------
 
@@ -428,6 +558,7 @@ class LlmService:
         record = self._execute(engine, req, max(clock, arrival))
         self._clocks[name] = max(clock, record.finish_s)
         self._requests.append(record)
+        self._observe(record)
         return record
 
     def submit_workload(self, model: Union[str, ModelConfig],
@@ -495,6 +626,15 @@ class LlmService:
     def _shed(self, req: ServiceRequest, at_s: float,
               status: str) -> ServedRequest:
         """A record for a request that never ran (no engine time used)."""
+        if self.tracer.enabled:
+            track = request_track(req.request_id)
+            if at_s > req.arrival_s:
+                self.tracer.span("queued", proc="service", thread=track,
+                                 start_s=req.arrival_s, end_s=at_s,
+                                 cat="queue", tier=req.tier.name)
+            self.tracer.instant(status, proc="service", thread=track,
+                                ts_s=at_s, cat="lifecycle",
+                                tier=req.tier.name)
         return ServedRequest(
             request_id=req.request_id, model=req.model,
             arrival_s=req.arrival_s, start_s=at_s, finish_s=at_s,
@@ -519,9 +659,28 @@ class LlmService:
                 if queue.precedes(queued, req):
                     wait += self._estimate(engine, queued).e2e_latency_s
             if wait > req.tier.slo_queueing_s:
+                self.metrics_registry.counter(
+                    "service_admission_total", decision="rejected").inc()
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "admission.reject", proc="service",
+                        thread=request_track(req.request_id),
+                        ts_s=req.arrival_s, cat="admission",
+                        tier=req.tier.name, projected_wait_s=wait,
+                        slo_s=req.tier.slo_queueing_s,
+                    )
                 records.append(self._shed(req, req.arrival_s, "rejected"))
                 return
-        queue.push(req)
+            self.metrics_registry.counter(
+                "service_admission_total", decision="admitted").inc()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "admission.admit", proc="service",
+                    thread=request_track(req.request_id),
+                    ts_s=req.arrival_s, cat="admission",
+                    tier=req.tier.name, projected_wait_s=wait,
+                )
+        queue.push(req, now_s=req.arrival_s)
 
     def run(self) -> List[ServedRequest]:
         """Play every pending arrival stream to completion.
@@ -539,7 +698,7 @@ class LlmService:
                           key=lambda r: (r.arrival_s, r.request_id))
             engine = self._engines[model_name]
             free_s = self._clocks[model_name]
-            queue = RequestQueue(self.scheduler)
+            queue = RequestQueue(self.scheduler, tracer=self.tracer)
             idx = 0
             while idx < len(reqs) or queue:
                 while idx < len(reqs) and reqs[idx].arrival_s <= free_s:
@@ -551,7 +710,7 @@ class LlmService:
                         free_s = max(free_s, reqs[idx].arrival_s)
                         continue
                     break
-                req = queue.pop()
+                req = queue.pop(now_s=free_s)
                 if req.request_id in self._cancelled:
                     new_records.append(self._shed(req, req.arrival_s,
                                                   "cancelled"))
@@ -568,6 +727,8 @@ class LlmService:
         self._pending.clear()
         new_records.sort(key=lambda r: r.request_id)
         self._requests.extend(new_records)
+        for record in new_records:
+            self._observe(record)
         return new_records
 
     # -- reporting ----------------------------------------------------------------

@@ -31,22 +31,29 @@ def service_load(
     seed: int = 0,
 ) -> Table:
     """Queueing behaviour of the shared llm.npu service under load."""
+    from repro.obs import breakdown_requests, tier_component_means
     spec = WORKLOADS[workload]
     table = Table(
         title=f"LLM service load — {workload} on {model} ({device})",
         columns=["inter-arrival s", "mean turnaround s", "p95 turnaround s",
-                 "mean queueing s", "throughput req/s"],
+                 "mean queueing s", "throughput req/s",
+                 "mean prefill s", "mean decode s"],
     )
     for gap in inter_arrival_s:
         service = LlmService(device, EngineConfig())
         samples = sample_workload(spec, n_requests, seed=seed)
         service.submit_workload(model, samples, inter_arrival_s=gap)
         stats = service.stats()
+        means = tier_component_means(
+            breakdown_requests(service.requests))["interactive"]
         table.add_row(gap, stats.mean_turnaround_s, stats.p95_turnaround_s,
-                      stats.mean_queueing_s, stats.throughput_rps)
+                      stats.mean_queueing_s, stats.throughput_rps,
+                      means["prefill_s"], means["decode_s"])
     table.add_note("queueing stays near zero while the inter-arrival gap "
                    "exceeds the per-request service time, then grows "
-                   "without bound — the service's capacity knee")
+                   "without bound — the service's capacity knee; the "
+                   "prefill/decode split stays constant (queueing, not "
+                   "service time, is what load inflates)")
     return table
 
 
@@ -159,10 +166,13 @@ def _run_two_tier(
     device: str,
     stream: List[Tuple[str, WorkloadSample, float]],
     fault_spec: Optional[FaultSpec] = None,
+    tracer=None,
+    metrics=None,
 ) -> LlmService:
     service = LlmService(device, EngineConfig(), scheduler=scheduler,
                          admission=admission, fault_spec=fault_spec,
-                         tiers=EXPERIMENT_TIERS)
+                         tiers=EXPERIMENT_TIERS, tracer=tracer,
+                         metrics=metrics)
     for tier, sample, arrival in stream:
         service.enqueue(model, sample.prompt_tokens, sample.output_tokens,
                         arrival_s=arrival, tier=tier)
@@ -254,21 +264,78 @@ def service_fault_recovery(
     return table
 
 
-def service_golden_records(seed: int = 42):
+def service_golden_records(seed: int = 42, tracer=None, metrics=None):
     """The golden regression scenario: two-tier overload with faults.
 
     Returns the served :class:`~repro.core.ServedRequest` records of the
     priority+admission scheduler over the seeded two-tier stream with a
     seeded transient-fault injector — every field is a pure function of
     ``seed``, which makes this the determinism tripwire for future
-    scheduler changes.
+    scheduler changes.  Pass a :class:`~repro.obs.Tracer` /
+    :class:`~repro.obs.MetricsRegistry` to observe the run; the records
+    are identical either way (the no-op guarantee the regression tests
+    pin down).
     """
     stream = two_tier_arrivals(seed=seed)
     service = _run_two_tier(
         "priority", True, "Qwen1.5-1.8B", "Redmi K70 Pro", stream,
         fault_spec=FaultSpec(transient_rate=0.1, seed=7),
+        tracer=tracer, metrics=metrics,
     )
     return service
+
+
+def service_breakdown(seed: int = 42, trace_out: Optional[str] = None,
+                      metrics_out: Optional[str] = None) -> Table:
+    """Per-tier latency breakdown of the golden two-tier scenario.
+
+    Decomposes every served request's turnaround into queue / retry /
+    prefill / decode (validated to sum to the turnaround within 1e-9 s)
+    and reports per-tier means — the component view behind the
+    percentile columns of :func:`service_tier_comparison`.
+
+    ``trace_out`` / ``metrics_out`` additionally export the run's
+    unified Perfetto timeline and metrics snapshot (the observability
+    side of ``llmnpu run service-breakdown --trace-out ...``).
+    """
+    from repro.obs import MetricsRegistry, Tracer, breakdown_table
+    from repro.obs import export_service_trace
+    tracer = Tracer() if trace_out else None
+    metrics = MetricsRegistry() if metrics_out else None
+    service = service_golden_records(seed=seed, tracer=tracer,
+                                     metrics=metrics)
+    if trace_out:
+        export_service_trace(service, trace_out)
+    if metrics_out:
+        service.metrics_registry.save(metrics_out)
+    return breakdown_table(
+        service.requests,
+        title=f"Service latency breakdown — golden two-tier scenario "
+              f"(seed={seed})",
+    )
+
+
+def service_golden_trace(seed: int = 42) -> str:
+    """Canonical unified-trace JSON of the golden scenario (one string).
+
+    Runs :func:`service_golden_records` with a tracer attached and
+    serializes the merged service+hardware timeline exactly as
+    :func:`repro.obs.export_service_trace` writes it.  Byte-identical
+    across processes for equal seeds; ``scripts/check_determinism.sh``
+    diffs two independent evaluations.
+    """
+    import json
+
+    from repro.obs import (
+        Tracer,
+        service_timeline,
+        to_chrome_trace,
+        validate_timeline,
+    )
+    service = service_golden_records(seed=seed, tracer=Tracer())
+    events = to_chrome_trace(service_timeline(service))
+    validate_timeline(events)
+    return json.dumps(events, sort_keys=True)
 
 
 def service_golden_snapshot(seed: int = 42) -> str:

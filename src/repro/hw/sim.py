@@ -69,6 +69,12 @@ class FaultInjector:
     :meth:`suspended`), checks are free: no draw is consumed and no fault
     fires — the service layer uses this for cost *estimation* runs that
     must not perturb the fault stream.
+
+    With a :class:`~repro.obs.tracer.Tracer` attached (see
+    :meth:`attach_tracer`), every consumed draw becomes an instant event
+    on the ``service / faults`` track, stamped with the sim-clock time
+    the caller passes to :meth:`check` — tracing observes the draw
+    stream without perturbing it.
     """
 
     def __init__(self, spec: Optional[FaultSpec] = None):
@@ -77,8 +83,17 @@ class FaultInjector:
         self._n_draws = 0
         self._n_injected: Dict[str, int] = {"transient": 0, "permanent": 0}
         self._suspend_depth = 0
+        self._tracer = None
+        self._trace_track = ("service", "faults")
 
-    def draw(self) -> Optional[str]:
+    def attach_tracer(self, tracer, proc: str = "service",
+                      thread: str = "faults") -> None:
+        """Mirror every consumed draw onto ``tracer`` as instant events."""
+        self._tracer = tracer if tracer is not None and tracer.enabled \
+            else None
+        self._trace_track = (proc, thread)
+
+    def draw(self, now_s: float = 0.0) -> Optional[str]:
         """One fault draw: ``None``, ``'transient'`` or ``'permanent'``."""
         if self._suspend_depth > 0:
             return None
@@ -97,11 +112,22 @@ class FaultInjector:
                 kind = None
         if kind is not None:
             self._n_injected[kind] += 1
+        if self._tracer is not None:
+            proc, thread = self._trace_track
+            self._tracer.instant(
+                f"fault.{kind or 'ok'}", proc=proc, thread=thread,
+                ts_s=now_s, cat="fault", draw=index,
+                kind=kind or "ok",
+            )
         return kind
 
-    def check(self) -> None:
-        """Raise the typed error for this execution attempt, if any."""
-        kind = self.draw()
+    def check(self, now_s: float = 0.0) -> None:
+        """Raise the typed error for this execution attempt, if any.
+
+        ``now_s`` is the caller's sim-clock time, used only to timestamp
+        the trace event for this draw.
+        """
+        kind = self.draw(now_s)
         if kind == "transient":
             raise TransientEngineError(
                 f"injected transient engine fault (draw #{self._n_draws})"

@@ -1,0 +1,79 @@
+"""Cross-layer observability: tracing, metrics, exporters, breakdowns.
+
+One tracer API spans every layer of the serving path — the
+:class:`~repro.core.service.LlmService` request lifecycle, the engine,
+the request queue, and the fault injector — all stamped with the
+deterministic sim clock, so a single Perfetto timeline shows a request
+from arrival through admission, retries, prefill chunks, and decode
+down to individual simulated NPU tasks.  See ``docs/observability.md``.
+"""
+
+from repro.obs.breakdown import (
+    SUM_TOL_S,
+    RequestBreakdown,
+    breakdown_request,
+    breakdown_requests,
+    breakdown_table,
+    tier_component_means,
+    validate_breakdowns,
+)
+from repro.obs.export import (
+    export_service_trace,
+    jsonl_records,
+    read_jsonl,
+    save_chrome_trace,
+    service_timeline,
+    to_chrome_trace,
+    validate_timeline,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    as_registry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Instant,
+    NullTracer,
+    ObservabilityError,
+    Span,
+    SpanHandle,
+    Tracer,
+    as_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanHandle",
+    "Instant",
+    "ObservabilityError",
+    "as_tracer",
+    "MetricsRegistry",
+    "MetricsError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "as_registry",
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "service_timeline",
+    "export_service_trace",
+    "validate_timeline",
+    "jsonl_records",
+    "write_jsonl",
+    "read_jsonl",
+    "RequestBreakdown",
+    "breakdown_request",
+    "breakdown_requests",
+    "breakdown_table",
+    "tier_component_means",
+    "validate_breakdowns",
+    "SUM_TOL_S",
+]

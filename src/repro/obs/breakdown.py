@@ -1,0 +1,154 @@
+"""Per-request latency breakdown for the service layer.
+
+Decomposes each :class:`~repro.core.service.ServedRequest`'s turnaround
+into the components the paper's timeline arguments care about:
+
+* ``queue_s`` — arrival to dispatch (waiting for the engine);
+* ``admission_s`` — time spent in the admission controller.  The
+  simulated controller decides at the arrival instant, so this is
+  always 0; it is kept as an explicit component so the decomposition
+  stays total if admission ever grows a cost model;
+* ``retry_s`` — engine time consumed by failed execution attempts plus
+  the backoff between attempts;
+* ``prefill_s`` / ``decode_s`` — the successful attempt's two stages.
+
+The invariant — checked by :func:`validate_breakdowns` and asserted by
+the service benchmarks — is that the components sum to the measured
+turnaround within 1e-9 s for every request, including shed ones
+(rejected / cancelled / timed-out requests decompose into pure queueing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import EngineError
+
+#: Maximum tolerated |sum(components) - turnaround| per request.
+SUM_TOL_S = 1e-9
+
+
+@dataclass(frozen=True)
+class RequestBreakdown:
+    """One request's turnaround decomposed into components."""
+
+    request_id: int
+    tier: str
+    status: str
+    retries: int
+    queue_s: float
+    admission_s: float
+    retry_s: float
+    prefill_s: float
+    decode_s: float
+    turnaround_s: float
+
+    @property
+    def components_s(self) -> float:
+        return (self.queue_s + self.admission_s + self.retry_s
+                + self.prefill_s + self.decode_s)
+
+    @property
+    def residual_s(self) -> float:
+        """Decomposition error (should be ~float rounding, < 1e-9)."""
+        return self.turnaround_s - self.components_s
+
+
+def breakdown_request(record) -> RequestBreakdown:
+    """Decompose one :class:`ServedRequest` (any status)."""
+    queue_s = record.start_s - record.arrival_s
+    prefill_s = decode_s = 0.0
+    if record.status == "completed" and record.report is not None:
+        prefill_s = record.report.prefill.latency_s
+        decode_s = record.report.decode_latency_s
+    # Whatever engine-held time the stages don't explain is retry cost
+    # (failed attempts' partial executions + exponential backoff).  For
+    # shed requests service_s is 0 and this is 0; for requests that
+    # timed out mid-retry it is the whole service span.
+    retry_s = record.service_s - prefill_s - decode_s
+    return RequestBreakdown(
+        request_id=record.request_id,
+        tier=record.tier,
+        status=record.status,
+        retries=record.retries,
+        queue_s=queue_s,
+        admission_s=0.0,
+        retry_s=retry_s,
+        prefill_s=prefill_s,
+        decode_s=decode_s,
+        turnaround_s=record.turnaround_s,
+    )
+
+
+def breakdown_requests(records: Iterable) -> List[RequestBreakdown]:
+    return [breakdown_request(r) for r in records]
+
+
+def validate_breakdowns(breakdowns: Iterable[RequestBreakdown],
+                        tol_s: float = SUM_TOL_S) -> None:
+    """Assert every decomposition sums to its turnaround within ``tol_s``."""
+    for b in breakdowns:
+        if abs(b.residual_s) > tol_s:
+            raise EngineError(
+                f"request {b.request_id}: breakdown components sum to "
+                f"{b.components_s!r} but turnaround is "
+                f"{b.turnaround_s!r} (residual {b.residual_s:.3e} s)"
+            )
+
+
+def tier_component_means(
+        breakdowns: List[RequestBreakdown]) -> Dict[str, Dict[str, float]]:
+    """Per-tier mean of each component over *completed* requests, plus
+    shed/total counts.  Keys are tier names (sorted)."""
+    by_tier: Dict[str, List[RequestBreakdown]] = {}
+    for b in breakdowns:
+        by_tier.setdefault(b.tier, []).append(b)
+    out: Dict[str, Dict[str, float]] = {}
+    for tier in sorted(by_tier):
+        rows = by_tier[tier]
+        done = [b for b in rows if b.status == "completed"]
+        n = len(done)
+
+        def mean(attr: str) -> float:
+            if n == 0:
+                return 0.0
+            return sum(getattr(b, attr) for b in done) / n
+
+        out[tier] = {
+            "n_requests": float(len(rows)),
+            "n_completed": float(n),
+            "n_shed": float(len(rows) - n),
+            "queue_s": mean("queue_s"),
+            "retry_s": mean("retry_s"),
+            "prefill_s": mean("prefill_s"),
+            "decode_s": mean("decode_s"),
+            "turnaround_s": mean("turnaround_s"),
+        }
+    return out
+
+
+def breakdown_table(records: Iterable, title: str = "Latency breakdown"):
+    """Per-tier component table (validated before rendering).
+
+    Returns a :class:`~repro.eval.report.Table` with one row per tier:
+    request counts and the mean queue/retry/prefill/decode split of
+    completed requests — the report the service benchmarks print
+    alongside their percentile columns.
+    """
+    from repro.eval.report import Table
+    breakdowns = breakdown_requests(records)
+    validate_breakdowns(breakdowns)
+    means = tier_component_means(breakdowns)
+    table = Table(
+        title=title,
+        columns=["tier", "requests", "completed", "shed", "queue s",
+                 "retry s", "prefill s", "decode s", "turnaround s"],
+    )
+    for tier, m in means.items():
+        table.add_row(tier, int(m["n_requests"]), int(m["n_completed"]),
+                      int(m["n_shed"]), m["queue_s"], m["retry_s"],
+                      m["prefill_s"], m["decode_s"], m["turnaround_s"])
+    table.add_note("components sum to turnaround within 1e-9 s per "
+                   "request; shed requests decompose into pure queueing")
+    return table

@@ -1,0 +1,185 @@
+"""Trace exporters: Chrome/Perfetto timeline and JSONL event log.
+
+The Chrome export maps tracer tracks onto the trace format's
+process/thread axes with a **stable** pid/tid assignment: processes are
+the sorted unique ``proc`` names (pid 1, 2, ...), threads the sorted
+unique ``thread`` names within each process.  Two runs of the same
+seeded workload therefore produce byte-identical trace files — the
+property ``scripts/check_determinism.sh`` enforces.
+
+:func:`service_timeline` builds the paper's cross-layer view: the
+service tracer's request spans (queued → retries → prefill → decode)
+merged with the per-request :class:`~repro.hw.trace.Trace` task events
+(each completed request's simulated prefill schedule and per-token
+decode, shifted from its engine-relative origin onto the service
+clock).  Open the saved file in https://ui.perfetto.dev or
+``chrome://tracing``.
+
+The JSONL log is the machine-readable twin: one JSON object per tracer
+record (emission order) followed by one per metrics instrument;
+``scripts/check_trace_schema.py`` validates it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Instant, Span, Tracer
+
+#: Serial-execution tolerance, matching ``Trace.validate_serial``.
+_OVERLAP_TOL_S = 1e-12
+
+
+def to_chrome_trace(tracer: Tracer) -> List[dict]:
+    """Tracer records as Chrome-trace events with stable pid/tid mapping."""
+    procs = sorted({e.proc for e in tracer.events})
+    pids = {proc: i + 1 for i, proc in enumerate(procs)}
+    tids: Dict[Tuple[str, str], int] = {}
+    out: List[dict] = []
+    for proc in procs:
+        pid = pids[proc]
+        out.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": proc},
+        })
+        threads = sorted({e.thread for e in tracer.events
+                          if e.proc == proc})
+        for j, thread in enumerate(threads):
+            tids[(proc, thread)] = j + 1
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": j + 1, "args": {"name": thread},
+            })
+    body: List[dict] = []
+    for e in tracer.events:
+        pid, tid = pids[e.proc], tids[(e.proc, e.thread)]
+        if isinstance(e, Span):
+            body.append({
+                "name": e.name, "cat": e.cat or "task", "ph": "X",
+                "pid": pid, "tid": tid, "ts": e.start_s * 1e6,
+                "dur": e.duration_s * 1e6, "args": dict(e.args),
+            })
+        else:
+            body.append({
+                "name": e.name, "cat": e.cat or "task", "ph": "i",
+                "s": "t", "pid": pid, "tid": tid, "ts": e.ts_s * 1e6,
+                "args": dict(e.args),
+            })
+    body.sort(key=lambda ev: (ev["ts"], ev["pid"], ev["tid"],
+                              ev["ph"], ev["name"]))
+    return out + body
+
+
+def save_chrome_trace(path: str, tracer: Tracer) -> None:
+    """Write the Chrome-trace JSON (deterministic byte output)."""
+    events = to_chrome_trace(tracer)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(events, f, sort_keys=True)
+        f.write("\n")
+
+
+def validate_timeline(events: List[dict], tol: float = _OVERLAP_TOL_S) -> None:
+    """``Trace.validate_serial`` for Chrome events: per (pid, tid), no
+    two complete ('X') events overlap.  Raises :class:`SchedulingError`.
+    """
+    by_track: Dict[Tuple[int, int], List[dict]] = {}
+    for e in events:
+        if e.get("ph") == "X":
+            by_track.setdefault((e["pid"], e["tid"]), []).append(e)
+    for (pid, tid), track in sorted(by_track.items()):
+        track.sort(key=lambda ev: (ev["ts"], ev["ts"] + ev["dur"]))
+        for a, b in zip(track, track[1:]):
+            if b["ts"] < a["ts"] + a["dur"] - tol * 1e6:
+                raise SchedulingError(
+                    f"pid {pid} tid {tid}: events {a['name']!r} and "
+                    f"{b['name']!r} overlap"
+                )
+
+
+def service_timeline(service) -> Tracer:
+    """One merged timeline: service request spans + hw task events.
+
+    Takes a traced :class:`~repro.core.service.LlmService` and returns a
+    new tracer holding (a) every record the service emitted and (b) the
+    simulated hardware schedule of every completed request — its prefill
+    task events and per-token decode — shifted onto the service clock at
+    the instant the successful execution attempt started.  Tracks:
+
+    * ``service / req NNNNN`` — request lifecycle spans;
+    * ``service / scheduler``, ``service / faults`` — queue ops, draws;
+    * ``hw <model> / npu|cpu|gpu`` — the per-engine processor timelines.
+    """
+    merged = Tracer()
+    merged.extend(service.tracer.events)
+    for record in service.requests:
+        report = record.report
+        if record.status != "completed" or report is None:
+            continue
+        # The successful attempt spans [finish - e2e, finish]; everything
+        # before it on this request is queueing/retry, which has no hw
+        # schedule (failed attempts die inside the driver).
+        t0 = record.finish_s - report.e2e_latency_s
+        timeline = report.timeline(service.config.decode_backend)
+        proc = f"hw {record.model}"
+        for ev in timeline.events:
+            merged.span(
+                ev.task_id, proc=proc, thread=ev.proc,
+                start_s=t0 + ev.start_s, end_s=t0 + ev.end_s,
+                cat=ev.tag or "task", request_id=record.request_id,
+            )
+    return merged
+
+
+def export_service_trace(service, path: str,
+                         validate: bool = True) -> List[dict]:
+    """Merge, optionally validate, and save one service run's timeline."""
+    events = to_chrome_trace(service_timeline(service))
+    if validate:
+        validate_timeline(events)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(events, f, sort_keys=True)
+        f.write("\n")
+    return events
+
+
+# -- JSONL event log ----------------------------------------------------------
+
+
+def jsonl_records(tracer: Optional[Tracer] = None,
+                  metrics: Optional[MetricsRegistry] = None) -> List[dict]:
+    """The JSONL export as a list of dicts (trace order, then metrics)."""
+    records: List[dict] = []
+    if tracer is not None:
+        records.extend(e.to_record() for e in tracer.events)
+    if metrics is not None:
+        records.extend(metrics.snapshot())
+    return records
+
+
+def write_jsonl(path: str, tracer: Optional[Tracer] = None,
+                metrics: Optional[MetricsRegistry] = None) -> int:
+    """Write one JSON object per line; returns the record count."""
+    records = jsonl_records(tracer, metrics)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        for record in records:
+            f.write(json.dumps(record, sort_keys=True))
+            f.write("\n")
+    return len(records)
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Load a JSONL event log back into dicts."""
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,287 @@
+"""Span-based tracing over the simulator's deterministic clock.
+
+Every layer of the serving path runs on *simulated* time — the service
+clocks, the engine timelines, the discrete-event schedule.  The tracer
+therefore never reads a wall clock: callers pass explicit sim-clock
+timestamps, which keeps traces a pure function of the workload (two runs
+of the same seeded workload produce byte-identical traces).
+
+Two record kinds:
+
+* :class:`Span` — an interval ``[start_s, end_s]`` on a *track*.  A track
+  is a ``(proc, thread)`` pair mirroring the Chrome trace format's
+  process/thread axes: e.g. ``("service", "req 00003")`` for one
+  request's lifecycle, ``("hw Qwen1.5-1.8B", "npu")`` for a processor of
+  one engine's timeline.
+* :class:`Instant` — a zero-width marker (admission decisions, fault
+  draws, queue operations).
+
+Spans come from :meth:`Tracer.span`, either fully formed (``end_s=``
+given, recorded immediately) or as a context manager that must be closed
+with an explicit end timestamp::
+
+    with tracer.span("prefill", proc="service", thread=track,
+                     start_s=t0) as span:
+        ...
+        span.finish(t1)
+
+The disabled path is :data:`NULL_TRACER`, a shared no-op whose methods
+allocate nothing and record nothing — instrumented code can call it
+unconditionally, and hot paths can skip argument construction entirely by
+checking :attr:`Tracer.enabled` first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+
+
+class ObservabilityError(ReproError):
+    """Tracing / metrics misuse (unfinished span, bad timestamps...)."""
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed interval on a track."""
+
+    name: str
+    cat: str
+    proc: str
+    thread: str
+    start_s: float
+    end_s: float
+    args: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def arg(self, key: str, default=None):
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+    def to_record(self) -> dict:
+        return {
+            "type": "span", "name": self.name, "cat": self.cat,
+            "proc": self.proc, "thread": self.thread,
+            "start_s": self.start_s, "end_s": self.end_s,
+            "args": dict(self.args),
+        }
+
+
+@dataclass(frozen=True)
+class Instant:
+    """One zero-width marker on a track."""
+
+    name: str
+    cat: str
+    proc: str
+    thread: str
+    ts_s: float
+    args: Tuple[Tuple[str, object], ...] = ()
+
+    def arg(self, key: str, default=None):
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+    def to_record(self) -> dict:
+        return {
+            "type": "instant", "name": self.name, "cat": self.cat,
+            "proc": self.proc, "thread": self.thread, "ts_s": self.ts_s,
+            "args": dict(self.args),
+        }
+
+
+TraceRecord = Union[Span, Instant]
+
+
+def _freeze_args(args: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(args.items()))
+
+
+class SpanHandle:
+    """An open span awaiting its end timestamp (context manager).
+
+    ``finish(end_s)`` records the span; exiting the ``with`` block
+    without finishing raises :class:`ObservabilityError` (unless an
+    exception is already propagating, in which case the span is recorded
+    zero-width at its start so tracing never masks the real error).
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "proc", "thread", "start_s",
+                 "_args", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, proc: str,
+                 thread: str, start_s: float,
+                 args: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.proc = proc
+        self.thread = thread
+        self.start_s = start_s
+        self._args = args
+        self._done = False
+
+    def finish(self, end_s: float, **more_args) -> Span:
+        """Record the span with an explicit sim-clock end timestamp."""
+        if self._done:
+            raise ObservabilityError(
+                f"span {self.name!r} finished twice"
+            )
+        self._done = True
+        if more_args:
+            self._args.update(more_args)
+        return self._tracer._record_span(
+            self.name, self.cat, self.proc, self.thread,
+            self.start_s, end_s, self._args,
+        )
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._done:
+            return
+        if exc_type is not None:
+            # record zero-width so the failure point stays visible, and
+            # let the original exception propagate
+            self._done = True
+            self._tracer._record_span(
+                self.name, self.cat, self.proc, self.thread,
+                self.start_s, self.start_s,
+                dict(self._args, error=exc_type.__name__),
+            )
+            return
+        raise ObservabilityError(
+            f"span {self.name!r} exited without finish(end_s)"
+        )
+
+
+class _NullSpanHandle:
+    """Shared no-op handle returned by the null tracer."""
+
+    __slots__ = ()
+
+    def finish(self, end_s: float, **more_args) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN_HANDLE = _NullSpanHandle()
+
+
+@dataclass
+class Tracer:
+    """Collects spans and instants in emission order.
+
+    Emission order is deterministic because every emitter runs on the
+    deterministic simulator, so the record list itself is a stable
+    artifact (the JSONL export preserves it verbatim).
+    """
+
+    events: List[TraceRecord] = field(default_factory=list)
+
+    #: The no-op check instrumented code uses to skip argument
+    #: construction on hot paths.
+    enabled: bool = True
+
+    def span(self, name: str, *, proc: str, thread: str, start_s: float,
+             end_s: Optional[float] = None, cat: str = "",
+             **args) -> Union[Span, SpanHandle]:
+        """Record a span (``end_s`` given) or open one (context manager)."""
+        if end_s is not None:
+            return self._record_span(name, cat, proc, thread,
+                                     start_s, end_s, args)
+        return SpanHandle(self, name, cat, proc, thread, start_s, args)
+
+    def instant(self, name: str, *, proc: str, thread: str, ts_s: float,
+                cat: str = "", **args) -> Instant:
+        """Record a zero-width marker."""
+        record = Instant(name=name, cat=cat, proc=proc, thread=thread,
+                         ts_s=float(ts_s), args=_freeze_args(args))
+        self.events.append(record)
+        return record
+
+    def _record_span(self, name: str, cat: str, proc: str, thread: str,
+                     start_s: float, end_s: float,
+                     args: Dict[str, object]) -> Span:
+        if end_s < start_s:
+            raise ObservabilityError(
+                f"span {name!r} ends before it starts "
+                f"({end_s!r} < {start_s!r})"
+            )
+        record = Span(name=name, cat=cat, proc=proc, thread=thread,
+                      start_s=float(start_s), end_s=float(end_s),
+                      args=_freeze_args(args))
+        self.events.append(record)
+        return record
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        return [e for e in self.events if isinstance(e, Span)]
+
+    @property
+    def instants(self) -> List[Instant]:
+        return [e for e in self.events if isinstance(e, Instant)]
+
+    def on_track(self, proc: str,
+                 thread: Optional[str] = None) -> List[TraceRecord]:
+        """Records on one process (optionally one thread), emission order."""
+        return [e for e in self.events
+                if e.proc == proc and (thread is None or e.thread == thread)]
+
+    def tracks(self) -> List[Tuple[str, str]]:
+        """Sorted unique ``(proc, thread)`` pairs."""
+        return sorted({(e.proc, e.thread) for e in self.events})
+
+    def extend(self, events: Iterable[TraceRecord]) -> None:
+        self.events.extend(events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTracer(Tracer):
+    """Zero-overhead tracer: records nothing, allocates nothing."""
+
+    def __init__(self):
+        super().__init__(events=[], enabled=False)
+
+    def span(self, name: str, *, proc: str, thread: str, start_s: float,
+             end_s: Optional[float] = None, cat: str = "",
+             **args) -> _NullSpanHandle:
+        return _NULL_SPAN_HANDLE
+
+    def instant(self, name: str, *, proc: str, thread: str, ts_s: float,
+                cat: str = "", **args) -> None:
+        return None
+
+    def extend(self, events: Iterable[TraceRecord]) -> None:
+        return None
+
+
+#: Shared no-op instance — the default for every instrumented component.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Normalize an optional tracer argument to a usable instance."""
+    return NULL_TRACER if tracer is None else tracer

@@ -58,3 +58,96 @@ class TestChromeTrace:
             events = json.load(f)
         complete = [e for e in events if e["ph"] == "X"]
         assert len(complete) == len(report.trace.events)
+
+    def test_save_is_deterministic(self, tmp_path):
+        """Equal traces serialize to byte-identical files."""
+        p1 = os.path.join(tmp_path, "a.json")
+        p2 = os.path.join(tmp_path, "b.json")
+        make_trace().save_chrome_trace(p1)
+        make_trace().save_chrome_trace(p2)
+        assert open(p1, "rb").read() == open(p2, "rb").read()
+
+    def test_untagged_events_export_as_task_cat(self):
+        trace = Trace()
+        trace.add(TraceEvent("plain", "npu", 0.0, 0.001))
+        events = trace.to_chrome_trace()
+        plain = next(e for e in events if e.get("name") == "plain")
+        assert plain["cat"] == "task"
+
+
+class TestChromeRoundTrip:
+    def test_reload_matches_counts_and_durations(self, tmp_path):
+        trace = make_trace()
+        path = os.path.join(tmp_path, "rt.json")
+        trace.save_chrome_trace(path)
+        again = Trace.load_chrome_trace(path)
+        assert len(again.events) == len(trace.events)
+        assert again.processors() == trace.processors()
+        for a, b in zip(sorted(trace.events, key=lambda e: e.task_id),
+                        sorted(again.events, key=lambda e: e.task_id)):
+            assert a.task_id == b.task_id
+            assert a.proc == b.proc
+            assert a.tag == b.tag
+            assert abs(a.duration_s - b.duration_s) < 1e-12
+
+    def test_untagged_round_trips_to_untagged(self, tmp_path):
+        trace = Trace()
+        trace.add(TraceEvent("plain", "npu", 0.0, 0.001))
+        path = os.path.join(tmp_path, "rt.json")
+        trace.save_chrome_trace(path)
+        again = Trace.load_chrome_trace(path)
+        assert again.events[0].tag == ""
+        # ...so busy_by_tag buckets agree before and after the trip
+        assert again.busy_by_tag() == trace.busy_by_tag()
+
+    def test_missing_thread_metadata_rejected(self):
+        import pytest
+        from repro.errors import SchedulingError
+        events = [{"name": "x", "cat": "task", "ph": "X", "pid": 0,
+                   "tid": 3, "ts": 0.0, "dur": 1.0}]
+        with pytest.raises(SchedulingError):
+            Trace.from_chrome_trace(events)
+
+
+class TestTraceMetricsEdgeCases:
+    def test_validate_serial_accepts_back_to_back(self):
+        trace = Trace()
+        trace.add(TraceEvent("a", "npu", 0.0, 0.001))
+        trace.add(TraceEvent("b", "npu", 0.001, 0.002))
+        trace.validate_serial()  # touching endpoints are not an overlap
+
+    def test_validate_serial_rejects_overlap(self):
+        import pytest
+        from repro.errors import SchedulingError
+        trace = Trace()
+        trace.add(TraceEvent("a", "npu", 0.0, 0.002))
+        trace.add(TraceEvent("b", "npu", 0.001, 0.003))
+        with pytest.raises(SchedulingError, match="overlap"):
+            trace.validate_serial()
+
+    def test_validate_serial_ignores_other_processors(self):
+        trace = Trace()
+        trace.add(TraceEvent("a", "npu", 0.0, 0.002))
+        trace.add(TraceEvent("b", "cpu", 0.001, 0.003))
+        trace.validate_serial()
+
+    def test_bubble_rate_zero_span(self):
+        """All-instant events: span 0 -> bubble rate defined as 0."""
+        trace = Trace()
+        trace.add(TraceEvent("a", "npu", 0.5, 0.5))
+        assert trace.bubble_rate("npu") == 0.0
+
+    def test_bubble_rate_empty_processor(self):
+        assert Trace().bubble_rate("npu") == 0.0
+        trace = make_trace()
+        assert trace.bubble_rate("gpu") == 0.0
+
+    def test_busy_by_tag_groups_untagged_under_task(self):
+        trace = Trace()
+        trace.add(TraceEvent("a", "npu", 0.0, 0.001))
+        trace.add(TraceEvent("b", "npu", 0.001, 0.003, tag="sync"))
+        trace.add(TraceEvent("c", "cpu", 0.0, 0.002))
+        by_tag = trace.busy_by_tag()
+        assert "" not in by_tag
+        assert abs(by_tag["task"] - 0.003) < 1e-12
+        assert abs(by_tag["sync"] - 0.002) < 1e-12

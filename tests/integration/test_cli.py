@@ -51,7 +51,7 @@ class TestExperimentRegistry:
         # every table and figure of the evaluation section (14) plus the
         # extension ablations, the calibration dashboard, and the
         # service-layer experiments
-        assert len(EXPERIMENTS) == 26
+        assert len(EXPERIMENTS) == 27
         paper = [n for n in EXPERIMENTS
                  if n.startswith(("fig", "table"))]
         assert len(paper) == 14

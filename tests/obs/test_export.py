@@ -1,0 +1,157 @@
+"""Exporter tests: unified Perfetto timeline and JSONL event log."""
+
+import json
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.eval import service_golden_records
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    export_service_trace,
+    jsonl_records,
+    read_jsonl,
+    save_chrome_trace,
+    service_timeline,
+    to_chrome_trace,
+    validate_timeline,
+    write_jsonl,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_service():
+    return service_golden_records(seed=42, tracer=Tracer(),
+                                  metrics=MetricsRegistry())
+
+
+class TestChromeExport:
+    def test_stable_pid_tid_mapping(self):
+        tr = Tracer()
+        tr.span("a", proc="service", thread="t2", start_s=0.0, end_s=1.0)
+        tr.span("b", proc="service", thread="t1", start_s=0.0, end_s=1.0)
+        tr.span("c", proc="hw m", thread="npu", start_s=0.0, end_s=1.0)
+        events = to_chrome_trace(tr)
+        procs = {e["args"]["name"]: e["pid"] for e in events
+                 if e.get("ph") == "M" and e["name"] == "process_name"}
+        assert procs == {"hw m": 1, "service": 2}  # sorted proc order
+        threads = {(e["pid"], e["args"]["name"]): e["tid"]
+                   for e in events
+                   if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert threads[(2, "t1")] == 1
+        assert threads[(2, "t2")] == 2
+
+    def test_spans_and_instants_export(self):
+        tr = Tracer()
+        tr.span("s", proc="p", thread="t", start_s=0.0, end_s=0.5)
+        tr.instant("i", proc="p", thread="t", ts_s=0.25)
+        phases = {e["ph"] for e in to_chrome_trace(tr)}
+        assert phases == {"M", "X", "i"}
+
+    def test_save_deterministic_bytes(self, tmp_path):
+        def build():
+            tr = Tracer()
+            tr.span("s", proc="p", thread="t", start_s=0.0, end_s=0.5,
+                    zebra=1, alpha=2)
+            tr.instant("i", proc="p", thread="t", ts_s=0.25)
+            return tr
+        p1, p2 = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        save_chrome_trace(p1, build())
+        save_chrome_trace(p2, build())
+        assert open(p1, "rb").read() == open(p2, "rb").read()
+
+    def test_validate_timeline_catches_overlap(self):
+        tr = Tracer()
+        tr.span("a", proc="p", thread="t", start_s=0.0, end_s=2.0)
+        tr.span("b", proc="p", thread="t", start_s=1.0, end_s=3.0)
+        with pytest.raises(SchedulingError, match="overlap"):
+            validate_timeline(to_chrome_trace(tr))
+
+    def test_validate_timeline_allows_parallel_tracks(self):
+        tr = Tracer()
+        tr.span("a", proc="p", thread="t1", start_s=0.0, end_s=2.0)
+        tr.span("b", proc="p", thread="t2", start_s=1.0, end_s=3.0)
+        validate_timeline(to_chrome_trace(tr))
+
+
+class TestUnifiedServiceTimeline:
+    def test_contains_both_layers(self, traced_service):
+        merged = service_timeline(traced_service)
+        procs = {proc for proc, _thread in merged.tracks()}
+        assert "service" in procs
+        assert any(p.startswith("hw ") for p in procs)
+        names = {e.name for e in merged.spans}
+        # service-level lifecycle spans...
+        assert "queued" in names
+        assert "prefill" in names
+        assert "decode" in names
+        # ...and simulated hw task events on the same timeline
+        assert any(n.startswith("c0.l") for n in names)
+        assert any(n.startswith("decode.t") for n in names)
+
+    def test_validates_serial_per_track(self, traced_service):
+        validate_timeline(to_chrome_trace(service_timeline(
+            traced_service)))
+
+    def test_hw_events_aligned_to_service_clock(self, traced_service):
+        merged = service_timeline(traced_service)
+        for record in traced_service.requests:
+            if record.status != "completed":
+                continue
+            hw = [e for e in merged.spans
+                  if e.proc == f"hw {record.model}"
+                  and e.arg("request_id") == record.request_id]
+            assert hw
+            t0 = record.finish_s - record.report.e2e_latency_s
+            assert min(e.start_s for e in hw) >= t0 - 1e-9
+            assert max(e.end_s for e in hw) <= record.finish_s + 1e-9
+
+    def test_export_writes_file(self, traced_service, tmp_path):
+        path = str(tmp_path / "t" / "unified.json")
+        events = export_service_trace(traced_service, path)
+        assert json.load(open(path)) == events
+
+    def test_fault_draws_visible(self, traced_service):
+        faults = [e for e in traced_service.tracer.instants
+                  if e.cat == "fault"]
+        assert faults
+        assert any(e.name == "fault.transient" for e in faults)
+        draws = [e.arg("draw") for e in faults]
+        assert draws == sorted(draws)  # consumed in draw order
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path, traced_service):
+        path = str(tmp_path / "log" / "events.jsonl")
+        n = write_jsonl(path, tracer=traced_service.tracer,
+                        metrics=traced_service.metrics_registry)
+        records = read_jsonl(path)
+        assert len(records) == n
+        types = {r["type"] for r in records}
+        assert types == {"span", "instant", "metric"}
+        # trace records first (emission order), metrics last
+        kinds = [r["type"] for r in records]
+        first_metric = kinds.index("metric")
+        assert all(k == "metric" for k in kinds[first_metric:])
+
+    def test_records_match_events(self, traced_service):
+        records = jsonl_records(tracer=traced_service.tracer)
+        assert len(records) == len(traced_service.tracer.events)
+
+    def test_schema_checker_accepts(self, tmp_path, traced_service):
+        import os
+        import subprocess
+        import sys
+        path = str(tmp_path / "events.jsonl")
+        write_jsonl(path, tracer=traced_service.tracer,
+                    metrics=traced_service.metrics_registry)
+        trace_path = str(tmp_path / "trace.json")
+        export_service_trace(traced_service, trace_path)
+        checker = os.path.join(os.path.dirname(__file__), "..", "..",
+                               "scripts", "check_trace_schema.py")
+        result = subprocess.run(
+            [sys.executable, checker, path, trace_path],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr

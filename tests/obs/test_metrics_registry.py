@@ -1,0 +1,98 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsError, MetricsRegistry, as_registry
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("requests", tier="a").inc()
+        reg.counter("requests", tier="a").inc(2.0)
+        reg.counter("requests", tier="b").inc()
+        assert reg.value("requests", tier="a") == 3.0
+        assert reg.value("requests", tier="b") == 1.0
+        assert len(reg) == 2
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError, match="negative"):
+            reg.counter("c").inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(3)
+        reg.gauge("depth").set(1)
+        assert reg.value("depth") == 1.0
+
+    def test_histogram_exact_stats(self):
+        reg = MetricsRegistry()
+        values = [0.3, 0.1, 0.2, 0.4]
+        for v in values:
+            reg.histogram("lat").observe(v)
+        h = reg.histogram("lat")
+        assert h.count == 4
+        assert h.sum == sum(values)       # same accumulation order
+        assert h.mean == sum(values) / 4
+        import numpy as np
+        assert h.percentile(50) == float(np.percentile(values, 50))
+        assert reg.samples("lat") == values
+
+    def test_empty_histogram_is_zero(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.count == 0 and h.mean == 0.0 and h.percentile(95) == 0.0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricsError, match="already registered"):
+            reg.gauge("x")
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.counter("c", a="1", b="2").inc()
+        assert reg.value("c", b="2", a="1") == 1.0
+
+
+class TestReadOnlyAndExport:
+    def test_peek_and_value_never_create(self):
+        reg = MetricsRegistry()
+        assert reg.peek("nope") is None
+        assert reg.value("nope", default=7.5) == 7.5
+        assert reg.samples("nope") == []
+        assert len(reg) == 0
+
+    def test_value_on_histogram_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        with pytest.raises(MetricsError, match="histogram"):
+            reg.value("h")
+
+    def test_snapshot_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a", tier="b").inc()
+        reg.counter("a", tier="a").inc()
+        names = [(s["name"], tuple(sorted(s["labels"].items())))
+                 for s in reg.snapshot()]
+        assert names == sorted(names)
+
+    def test_save_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("requests", tier="x").inc(5)
+        reg.histogram("lat").observe(0.5)
+        path = str(tmp_path / "m" / "metrics.json")
+        reg.save(path)
+        data = json.loads(open(path).read())
+        by_name = {d["name"]: d for d in data}
+        assert by_name["requests"]["value"] == 5.0
+        assert by_name["lat"]["count"] == 1
+
+    def test_as_registry(self):
+        reg = MetricsRegistry()
+        assert as_registry(reg) is reg
+        assert isinstance(as_registry(None), MetricsRegistry)
+        assert as_registry(None) is not as_registry(None)

@@ -1,0 +1,120 @@
+"""Unit tests for the span tracer (sim-clock timestamps, no wall clock)."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Instant,
+    NullTracer,
+    ObservabilityError,
+    Span,
+    Tracer,
+    as_tracer,
+)
+
+
+class TestSpans:
+    def test_immediate_span(self):
+        tr = Tracer()
+        span = tr.span("prefill", proc="service", thread="req 00001",
+                       start_s=1.0, end_s=2.5, cat="prefill", tokens=512)
+        assert isinstance(span, Span)
+        assert tr.events == [span]
+        assert span.duration_s == 1.5
+        assert span.arg("tokens") == 512
+        assert span.arg("missing", "x") == "x"
+
+    def test_context_manager_span(self):
+        tr = Tracer()
+        with tr.span("decode", proc="service", thread="t",
+                     start_s=0.0) as handle:
+            handle.finish(0.25, output_tokens=8)
+        [span] = tr.spans
+        assert span.end_s == 0.25
+        assert span.arg("output_tokens") == 8
+
+    def test_unfinished_span_raises(self):
+        tr = Tracer()
+        with pytest.raises(ObservabilityError, match="without finish"):
+            with tr.span("x", proc="p", thread="t", start_s=0.0):
+                pass
+
+    def test_double_finish_raises(self):
+        tr = Tracer()
+        handle = tr.span("x", proc="p", thread="t", start_s=0.0)
+        handle.finish(1.0)
+        with pytest.raises(ObservabilityError, match="twice"):
+            handle.finish(2.0)
+
+    def test_exception_records_zero_width_and_propagates(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("x", proc="p", thread="t", start_s=3.0):
+                raise ValueError("boom")
+        [span] = tr.spans
+        assert span.start_s == span.end_s == 3.0
+        assert span.arg("error") == "ValueError"
+
+    def test_negative_duration_rejected(self):
+        tr = Tracer()
+        with pytest.raises(ObservabilityError, match="before it starts"):
+            tr.span("x", proc="p", thread="t", start_s=2.0, end_s=1.0)
+
+    def test_args_sorted_deterministically(self):
+        tr = Tracer()
+        s = tr.span("x", proc="p", thread="t", start_s=0.0, end_s=1.0,
+                    zebra=1, alpha=2)
+        assert [k for k, _ in s.args] == ["alpha", "zebra"]
+
+
+class TestInstantsAndQueries:
+    def test_instant(self):
+        tr = Tracer()
+        i = tr.instant("fault.ok", proc="service", thread="faults",
+                       ts_s=0.5, cat="fault", draw=3)
+        assert isinstance(i, Instant)
+        assert tr.instants == [i]
+        assert tr.spans == []
+
+    def test_tracks_and_on_track(self):
+        tr = Tracer()
+        tr.span("a", proc="service", thread="req 00001",
+                start_s=0.0, end_s=1.0)
+        tr.instant("b", proc="service", thread="scheduler", ts_s=0.0)
+        tr.span("c", proc="hw m", thread="npu", start_s=0.0, end_s=1.0)
+        assert tr.tracks() == [("hw m", "npu"),
+                               ("service", "req 00001"),
+                               ("service", "scheduler")]
+        assert [e.name for e in tr.on_track("service")] == ["a", "b"]
+        assert [e.name
+                for e in tr.on_track("service", "scheduler")] == ["b"]
+
+    def test_to_record_round_trip_keys(self):
+        tr = Tracer()
+        tr.span("a", proc="p", thread="t", start_s=0.0, end_s=1.0, k=1)
+        tr.instant("b", proc="p", thread="t", ts_s=0.5)
+        span_rec, inst_rec = (e.to_record() for e in tr.events)
+        assert span_rec["type"] == "span"
+        assert span_rec["args"] == {"k": 1}
+        assert inst_rec["type"] == "instant"
+        assert inst_rec["ts_s"] == 0.5
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tr = NullTracer()
+        tr.instant("a", proc="p", thread="t", ts_s=0.0)
+        with tr.span("b", proc="p", thread="t", start_s=0.0) as h:
+            h.finish(1.0)
+        tr.extend([1, 2, 3])
+        assert len(tr) == 0
+        assert tr.enabled is False
+
+    def test_null_span_tolerates_unfinished_exit(self):
+        with NULL_TRACER.span("x", proc="p", thread="t", start_s=0.0):
+            pass  # no ObservabilityError from the no-op handle
+
+    def test_as_tracer(self):
+        assert as_tracer(None) is NULL_TRACER
+        tr = Tracer()
+        assert as_tracer(tr) is tr
