@@ -29,9 +29,25 @@ def once(benchmark):
 
 
 def show_and_archive(table, filename):
-    """Print a regenerated table and archive it under benchmarks/results."""
-    from repro.eval import archive
+    """Print a regenerated table and archive it under benchmarks/results.
+
+    Alongside the human-readable ``.txt``, every benchmark emits a
+    machine-readable twin — ``results/json/BENCH_<stem>.json`` (schema
+    ``repro.bench/v1``) with the table's numeric cells as directional
+    metrics — which ``llmnpu bench-compare`` gates CI on.
+    """
+    import os
+
+    from repro.eval import archive, results_dir
+    from repro.obs import make_artifact
+
     print()
     print(table.render())
     path = archive(table, filename)
     print(f"[archived: {path}]")
+    stem = os.path.splitext(os.path.basename(filename))[0]
+    artifact = make_artifact(stem, table)
+    json_path = artifact.save(
+        os.path.join(results_dir(), "json", f"BENCH_{stem}.json")
+    )
+    print(f"[artifact: {json_path}]")

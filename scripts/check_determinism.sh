@@ -25,11 +25,18 @@ trace() {
 print(service_golden_trace(seed=42))'
 }
 
+profile() {
+    python -c 'from repro.eval import golden_profile_json
+print(golden_profile_json(seed=42))'
+}
+
 out1=$(mktemp)
 out2=$(mktemp)
 trace1=$(mktemp)
 trace2=$(mktemp)
-trap 'rm -f "$out1" "$out2" "$trace1" "$trace2"' EXIT
+prof1=$(mktemp)
+prof2=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$trace1" "$trace2" "$prof1" "$prof2"' EXIT
 
 snapshot > "$out1"
 snapshot > "$out2"
@@ -50,3 +57,18 @@ if ! cmp -s "$trace1" "$trace2"; then
 fi
 echo "OK: golden unified trace is byte-identical across runs" \
      "($(wc -c < "$trace1") bytes)"
+
+# The profile report (repro.profile/v1) carries no timestamps and no
+# environment capture, so the full attribution — busy/idle seconds,
+# idle-cause classification, roofline numerators, per-event energy,
+# flamegraph weights — must also serialize to identical bytes.
+profile > "$prof1"
+profile > "$prof2"
+
+if ! cmp -s "$prof1" "$prof2"; then
+    echo "FAIL: consecutive golden profile reports differ" >&2
+    exit 1
+fi
+python scripts/check_trace_schema.py "$prof1"
+echo "OK: golden profile report is byte-identical across runs" \
+     "($(wc -c < "$prof1") bytes)"

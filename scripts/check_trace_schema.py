@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate an observability export (stdlib only — CI-friendly).
 
-Two modes, selectable by file content:
+Four modes, selectable by file content:
 
 * ``*.jsonl`` event logs written by :func:`repro.obs.write_jsonl` —
   one JSON object per line, each a ``span`` / ``instant`` / ``metric``
@@ -10,22 +10,39 @@ Two modes, selectable by file content:
 * Chrome-trace JSON written by :func:`repro.obs.export_service_trace`
   (a single JSON array) — checks the metadata/body event shapes and
   that no two complete events overlap on the same (pid, tid) track.
+* ``repro.profile/v1`` reports written by
+  :meth:`repro.obs.ProfileReport.save` (a JSON object whose ``schema``
+  key names the version) — checks the processor/operator/energy record
+  shapes and the conservation invariant: per processor,
+  busy + classified idle == window within 1e-9 s scaled by the merged
+  trace count, and per-operator busy sums to the owning processor's.
+* ``repro.bench/v1`` artifacts written by
+  :meth:`repro.obs.BenchArtifact.save` — checks that every metric has
+  a finite numeric ``value`` and a known ``direction`` and the ``env``
+  block is string-valued.
 
 Usage::
 
     python scripts/check_trace_schema.py traces/service.jsonl \
-        traces/service_trace.json
+        traces/service_trace.json benchmarks/results/json/BENCH_*.json
 
 Exits non-zero with a line-numbered message on the first violation.
 """
 
 import json
+import math
 import sys
 
 SPAN_KEYS = {"type", "name", "cat", "proc", "thread", "start_s", "end_s",
              "args"}
 INSTANT_KEYS = {"type", "name", "cat", "proc", "thread", "ts_s", "args"}
 METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+PROFILE_SCHEMA = "repro.profile/v1"
+BENCH_SCHEMA = "repro.bench/v1"
+IDLE_CAUSES = {"graph_build", "sync_wait", "dependency", "starvation"}
+PROFILE_TOL_S = 1e-9
+DIRECTIONS = {"lower", "higher", "info"}
 
 
 def fail(msg):
@@ -133,12 +150,163 @@ def check_chrome(path, events):
           f"({n_overlap_checked} adjacencies checked)")
 
 
+def _finite(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and math.isfinite(value)
+
+
+def check_profile(path, doc):
+    for key in ("window_s", "n_traces", "processors", "operators",
+                "phases", "energy", "flamegraph"):
+        if key not in doc:
+            fail(f"{path}: profile missing {key!r}")
+    if not _finite(doc["window_s"]) or doc["window_s"] < 0:
+        fail(f"{path}: window_s must be a non-negative number")
+    if not isinstance(doc["n_traces"], int) or doc["n_traces"] < 0:
+        fail(f"{path}: n_traces must be a non-negative integer")
+    tol = PROFILE_TOL_S * max(1, doc["n_traces"])
+    busy_by_proc = {}
+    for i, proc in enumerate(doc["processors"]):
+        where = f"{path}: processors[{i}]"
+        for key in ("proc", "busy_s", "span_s", "idle_s", "idle_by_cause",
+                    "matmul_busy_s", "matmul_ops"):
+            if key not in proc:
+                fail(f"{where}: missing {key!r}")
+        for key in ("busy_s", "span_s", "idle_s", "matmul_busy_s",
+                    "matmul_ops"):
+            if not _finite(proc[key]) or proc[key] < 0:
+                fail(f"{where}: {key!r} must be a non-negative number")
+        idle = proc["idle_by_cause"]
+        if set(idle) != IDLE_CAUSES:
+            fail(f"{where}: idle causes {sorted(idle)} != "
+                 f"{sorted(IDLE_CAUSES)}")
+        if any(not _finite(v) or v < 0 for v in idle.values()):
+            fail(f"{where}: idle seconds must be non-negative numbers")
+        if abs(sum(idle.values()) - proc["idle_s"]) > tol:
+            fail(f"{where}: idle_by_cause does not sum to idle_s")
+        gap = abs(proc["busy_s"] + proc["idle_s"] - doc["window_s"])
+        if gap > tol:
+            fail(f"{where}: busy + idle != window "
+                 f"(off by {gap:.3e} s > {tol:.3e} s)")
+        if proc["proc"] in busy_by_proc:
+            fail(f"{where}: duplicate processor {proc['proc']!r}")
+        busy_by_proc[proc["proc"]] = proc["busy_s"]
+    op_busy = dict.fromkeys(busy_by_proc, 0.0)
+    for i, op in enumerate(doc["operators"]):
+        where = f"{path}: operators[{i}]"
+        for key in ("proc", "tag", "n_events", "busy_s", "ops"):
+            if key not in op:
+                fail(f"{where}: missing {key!r}")
+        if op["proc"] not in busy_by_proc:
+            fail(f"{where}: unknown processor {op['proc']!r}")
+        if not _finite(op["busy_s"]) or op["busy_s"] < 0:
+            fail(f"{where}: busy_s must be a non-negative number")
+        op_busy[op["proc"]] += op["busy_s"]
+    for proc, total in sorted(op_busy.items()):
+        if abs(total - busy_by_proc[proc]) > tol:
+            fail(f"{path}: operator busy on {proc!r} does not sum to "
+                 f"processor busy")
+    energy = doc["energy"]
+    if energy is not None:
+        for key in ("per_processor", "platform_j", "total_j"):
+            if key not in energy:
+                fail(f"{path}: energy missing {key!r}")
+        attributed = energy["platform_j"]
+        for proc in sorted(energy["per_processor"]):
+            section = energy["per_processor"][proc]
+            for key in ("tags", "idle_j", "total_j"):
+                if key not in section:
+                    fail(f"{path}: energy[{proc!r}] missing {key!r}")
+            if abs(sum(section["tags"].values()) + section["idle_j"]
+                   - section["total_j"]) > tol:
+                fail(f"{path}: energy[{proc!r}] tags + idle != total")
+            attributed += section["total_j"]
+        if abs(attributed - energy["total_j"]) > tol:
+            fail(f"{path}: energy components do not sum to total_j")
+    for i, line in enumerate(doc["flamegraph"]):
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2 or not parts[1].isdigit():
+            fail(f"{path}: flamegraph[{i}] not 'stack <integer-ns>': "
+                 f"{line!r}")
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, list):
+            fail(f"{path}: metrics must be a snapshot list")
+        for i, record in enumerate(metrics):
+            where = f"{path}: metrics[{i}]"
+            kind = record.get("kind")
+            if kind not in METRIC_KINDS:
+                fail(f"{where}: metric kind {kind!r} not in "
+                     f"{sorted(METRIC_KINDS)}")
+            if kind == "histogram":
+                empty = record.get("count", 0) == 0
+                for key in ("p50", "p95", "max"):
+                    value = record.get(key)
+                    # Null percentiles are legal only for empty histograms.
+                    if empty and value is not None:
+                        fail(f"{where}: empty histogram with non-null "
+                             f"{key!r}")
+                    if not empty and not _finite(value):
+                        fail(f"{where}: histogram has count > 0 but "
+                             f"non-numeric {key!r}")
+            elif not _finite(record.get("value")):
+                fail(f"{where}: {kind} missing numeric 'value'")
+    print(f"OK: {path}: profile over {len(doc['processors'])} processors, "
+          f"{len(doc['operators'])} operator buckets, "
+          f"{len(doc['flamegraph'])} stacks "
+          f"(conservation within {tol:.1e} s)")
+
+
+def check_bench(path, doc):
+    for key in ("name", "metrics", "env"):
+        if key not in doc:
+            fail(f"{path}: artifact missing {key!r}")
+    if not isinstance(doc["metrics"], dict) or not doc["metrics"]:
+        fail(f"{path}: metrics must be a non-empty object")
+    for metric in sorted(doc["metrics"]):
+        record = doc["metrics"][metric]
+        where = f"{path}: metric {metric!r}"
+        if not isinstance(record, dict):
+            fail(f"{where}: record must be an object")
+        if not _finite(record.get("value")):
+            fail(f"{where}: 'value' must be a finite number")
+        if record.get("direction") not in DIRECTIONS:
+            fail(f"{where}: direction {record.get('direction')!r} not in "
+                 f"{sorted(DIRECTIONS)}")
+    if not isinstance(doc["env"], dict):
+        fail(f"{path}: env must be an object")
+    for key in sorted(doc["env"]):
+        if not isinstance(doc["env"][key], str):
+            fail(f"{path}: env[{key!r}] must be a string")
+    print(f"OK: {path}: artifact {doc['name']!r} with "
+          f"{len(doc['metrics'])} metrics")
+
+
 def check_file(path):
     with open(path) as f:
         head = f.read(1)
     if head == "[":
         with open(path) as f:
             check_chrome(path, json.load(f))
+    elif head == "{":
+        # Either a schema-stamped report/artifact (one JSON object) or a
+        # JSONL event log (one object per line, not valid as a whole).
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and "schema" in doc:
+            schema = doc["schema"]
+            if schema == PROFILE_SCHEMA:
+                check_profile(path, doc)
+            elif schema == BENCH_SCHEMA:
+                check_bench(path, doc)
+            else:
+                fail(f"{path}: unknown schema {schema!r} (expected "
+                     f"{PROFILE_SCHEMA!r} or {BENCH_SCHEMA!r})")
+        else:
+            check_jsonl(path)
     else:
         check_jsonl(path)
 

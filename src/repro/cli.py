@@ -21,6 +21,7 @@ from repro.eval import (
     service_breakdown,
     service_fault_recovery,
     service_load,
+    service_profile,
     service_tier_comparison,
     ablation_equivalent_shapes,
     ablation_hot_channels,
@@ -86,6 +87,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "service-breakdown": ("per-tier turnaround decomposition "
                           "(queue/retry/prefill/decode)",
                           service_breakdown),
+    "service-profile": ("per-operator/processor attribution + roofline "
+                        "+ idle causes + energy over the golden workload",
+                        service_profile),
 }
 
 
@@ -262,6 +266,89 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profile the golden service workload (or a single inference with
+    --prompt-tokens): attribution tables on stdout, full JSON report to
+    --profile-out, flamegraph collapsed stacks to --flamegraph-out."""
+    from repro.eval.profiling import (
+        energy_table,
+        operator_table,
+        service_profile_report,
+    )
+    from repro.obs import validate_profile
+
+    if args.prompt_tokens:
+        from repro.core import LlmNpuEngine
+        from repro.obs import profile_inference
+        engine = LlmNpuEngine.build(args.model, args.device)
+        inference = engine.infer(args.prompt_tokens, args.output_tokens)
+        report = profile_inference(
+            inference, engine.device,
+            float_backend=engine.config.float_backend,
+            decode_backend=engine.config.decode_backend,
+        )
+        title = (f"Per-processor attribution — {args.model} "
+                 f"({args.prompt_tokens} prompt tokens)")
+    else:
+        report, service = service_profile_report(seed=args.seed)
+        n_done = sum(1 for r in service.requests
+                     if r.status == "completed")
+        title = (f"Per-processor attribution — golden service workload "
+                 f"(seed={args.seed}, {n_done} completed requests)")
+    validate_profile(report)
+    summary = report.summary_table()
+    summary.title = title
+    for table in (summary, operator_table(report), energy_table(report)):
+        print(table.render())
+        print()
+    if args.profile_out:
+        report.save(args.profile_out)
+        print(f"[profile report ({len(report.to_json())} bytes) -> "
+              f"{args.profile_out}]")
+    if args.flamegraph_out:
+        import os
+        os.makedirs(os.path.dirname(args.flamegraph_out) or ".",
+                    exist_ok=True)
+        with open(args.flamegraph_out, "w") as f:
+            f.write("\n".join(report.flamegraph))
+            f.write("\n")
+        print(f"[flamegraph: {len(report.flamegraph)} stacks -> "
+              f"{args.flamegraph_out}]")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    """Compare benchmark artifacts; exit 1 on regression."""
+    from repro.obs import ArtifactError, compare_paths
+    try:
+        comparison = compare_paths(args.baseline, args.candidate,
+                                   rel_tol=args.rel_tol,
+                                   abs_tol=args.abs_tol)
+    except ArtifactError as exc:
+        print(f"bench-compare: {exc}", file=sys.stderr)
+        return 2
+    table = comparison.table()
+    if not args.all_metrics:
+        interesting = [d for d in comparison.deltas
+                       if d.verdict != "ok"]
+        if interesting:
+            shown = {d.metric for d in interesting}
+            table.rows = [row for row in table.rows if row[0] in shown]
+        else:
+            table.rows = []
+            table.add_note("all metrics within thresholds "
+                           "(use --all-metrics to list them)")
+    print(table.render())
+    n_regressed = len(comparison.regressions)
+    n_total = len(comparison.deltas)
+    if n_regressed:
+        print(f"\nFAIL: {n_regressed}/{n_total} metrics regressed",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: {n_total} metrics within thresholds")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="llmnpu",
@@ -334,6 +421,40 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--no-validate", action="store_true",
                        help="skip the per-track serial-overlap check")
     trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="attribution report: per-operator/processor time + energy, "
+             "roofline, idle causes, flamegraph",
+    )
+    profile.add_argument("--seed", type=int, default=42,
+                         help="golden-workload seed (service mode)")
+    profile.add_argument("--model", default="Qwen1.5-1.8B")
+    profile.add_argument("--device", default="Redmi K70 Pro")
+    profile.add_argument("--prompt-tokens", type=int, default=0,
+                         help="profile one inference of this many prompt "
+                              "tokens instead of the golden workload")
+    profile.add_argument("--output-tokens", type=int, default=8)
+    profile.add_argument("--profile-out", default=None,
+                         help="write the repro.profile/v1 JSON report")
+    profile.add_argument("--flamegraph-out", default=None,
+                         help="write collapsed-stack flamegraph lines")
+    profile.set_defaults(func=cmd_profile)
+
+    compare = sub.add_parser(
+        "bench-compare",
+        help="compare BENCH_*.json artifacts (files or directories); "
+             "exits nonzero on regression",
+    )
+    compare.add_argument("baseline", help="baseline artifact file or dir")
+    compare.add_argument("candidate", help="candidate artifact file or dir")
+    compare.add_argument("--rel-tol", type=float, default=0.05,
+                         help="relative noise threshold (default 5%%)")
+    compare.add_argument("--abs-tol", type=float, default=1e-9,
+                         help="absolute noise threshold")
+    compare.add_argument("--all-metrics", action="store_true",
+                         help="list every metric, not just movers")
+    compare.set_defaults(func=cmd_bench_compare)
     return parser
 
 

@@ -90,6 +90,7 @@ def build_task_graph(
                 tag=f"sg{pos}" + ("" if subgraph.is_npu else ".float"),
                 chunk=chunk,
                 subgraph=layer * 6 + pos,
+                ops=subgraph.matmul_ops,
             ))
             gate = [tid]
             shadow_spec = plan.shadows.get((layer, pos))
@@ -104,6 +105,7 @@ def build_task_graph(
                     tag="shadow",
                     chunk=chunk,
                     subgraph=layer * 6 + pos,
+                    ops=shadow_spec.matmul_ops,
                 ))
                 # The merge synchronization stalls the NPU queue itself:
                 # cache maintenance + driver fence + graph re-arm happen on

@@ -244,8 +244,10 @@ def summarize_service(records, registry=None) -> ServiceMetrics:
             n_cancelled=counts["cancelled"],
             n_failed=counts["failed"],
             n_retries=int(reg.value("service_retries_total", tier=name)),
-            p50_turnaround_s=turnaround.percentile(50),
-            p95_turnaround_s=turnaround.percentile(95),
+            p50_turnaround_s=(turnaround.percentile(50)
+                              if turnaround.count else 0.0),
+            p95_turnaround_s=(turnaround.percentile(95)
+                              if turnaround.count else 0.0),
             mean_queueing_s=queueing.mean,
             throughput_rps=(n_done / span if span > 0 else 0.0),
         )

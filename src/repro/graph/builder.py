@@ -258,7 +258,9 @@ class GraphBuilder:
             disk = expected_misses * disk_read_latency(
                 profile.cold_bytes_per_miss
             )
-        return ShadowSpec(layer, position, matmul, sync, disk)
+        return ShadowSpec(layer, position, matmul, sync, disk,
+                          matmul_ops=2.0 * rows * profile.outlier_channels
+                          * n_out)
 
     # -- public API -----------------------------------------------------------
 

@@ -70,6 +70,23 @@ class OpSpec:
         if any(s < 0 for s in self.shape):
             raise GraphError(f"negative dimension in {self.kind}: {self.shape}")
 
+    @property
+    def matmul_ops(self) -> float:
+        """Arithmetic MatMul work of this operator (2·M·K·N MAC pairs).
+
+        Only operators whose shape is a full ``(m, k, n)`` product carry
+        MatMul work; vector/attention operators return 0 (their shapes
+        don't determine a flop count without the model config).  This is
+        the numerator of the roofline analysis in
+        :mod:`repro.obs.profile` — achieved ops/s over a processor's
+        Table-3-calibrated ``peak_ops``.
+        """
+        if self.kind in (OpKind.LINEAR, OpKind.SHADOW_MATMUL) \
+                and len(self.shape) == 3:
+            m, k, n = self.shape
+            return 2.0 * m * k * n
+        return 0.0
+
 
 #: Subgraph position indices within a block, named for readability.
 SG_PRE_ATTN, SG_QKV, SG_ATTN, SG_WO, SG_PRE_FFN, SG_FFN = range(6)
@@ -120,6 +137,12 @@ class SubgraphSpec:
     def op_count(self) -> int:
         return len(self.ops)
 
+    @property
+    def matmul_ops(self) -> float:
+        """Total MatMul arithmetic work of the subgraph (see
+        :attr:`OpSpec.matmul_ops`)."""
+        return sum(op.matmul_ops for op in self.ops)
+
 
 @dataclass(frozen=True)
 class ShadowSpec:
@@ -135,6 +158,7 @@ class ShadowSpec:
     matmul_s: float
     sync_s: float
     disk_s: float = 0.0
+    matmul_ops: float = 0.0
 
     @property
     def enabled(self) -> bool:

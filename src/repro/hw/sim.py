@@ -165,6 +165,7 @@ class Task:
     tag: str = ""
     chunk: int = -1
     subgraph: int = -1
+    ops: float = 0.0
 
     def __post_init__(self) -> None:
         if self.duration_s < 0:
@@ -290,7 +291,8 @@ class Simulator:
                 proc_busy[proc] = True
                 end = now + task.duration_s
                 heapq.heappush(running, (end, next(seq), task))
-                trace.add(TraceEvent(task.task_id, proc, now, end, task.tag))
+                trace.add(TraceEvent(task.task_id, proc, now, end, task.tag,
+                                     ops=task.ops))
 
         dispatch()
         while running:

@@ -23,6 +23,9 @@ class TraceEvent:
     start_s: float
     end_s: float
     tag: str = ""
+    #: Arithmetic MatMul work (MAC pairs ×2) performed by the task —
+    #: the roofline numerator; 0 for sync/vector-only tasks.
+    ops: float = 0.0
 
     @property
     def duration_s(self) -> float:
@@ -63,6 +66,15 @@ class Trace:
 
     def busy_by_processor(self) -> Dict[str, float]:
         return {p: self.busy_seconds(p) for p in self.processors()}
+
+    def ops_by_processor(self) -> Dict[str, float]:
+        """Total MatMul arithmetic work (MAC pairs ×2) per processor —
+        the numerator of the roofline analysis in
+        :mod:`repro.obs.profile`."""
+        out: Dict[str, float] = {p: 0.0 for p in self.processors()}
+        for e in self.events:
+            out[e.proc] += e.ops
+        return out
 
     def span_s(self, proc: str) -> float:
         """First-start to last-end interval on one processor."""
@@ -130,7 +142,7 @@ class Trace:
             })
         body = []
         for e in self.events:
-            body.append({
+            record = {
                 "name": e.task_id,
                 "cat": e.tag or "task",
                 "ph": "X",
@@ -138,7 +150,10 @@ class Trace:
                 "tid": pids[e.proc],
                 "ts": e.start_s * 1e6,
                 "dur": e.duration_s * 1e6,
-            })
+            }
+            if e.ops:
+                record["args"] = {"ops": e.ops}
+            body.append(record)
         body.sort(key=lambda ev: (ev["ts"], ev["tid"], ev["name"]))
         return out + body
 
@@ -181,6 +196,7 @@ class Trace:
                 start_s=e["ts"] / 1e6,
                 end_s=(e["ts"] + e["dur"]) / 1e6,
                 tag="" if tag == "task" else tag,
+                ops=float(e.get("args", {}).get("ops", 0.0)),
             ))
         return trace
 

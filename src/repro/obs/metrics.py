@@ -114,19 +114,36 @@ class Histogram:
         return self.sum / len(self.values)
 
     def percentile(self, q: float) -> float:
+        """Exact percentile over the raw samples.
+
+        Degenerate histograms are well-defined rather than errors: an
+        empty histogram returns NaN (there is no value to report — JSON
+        snapshots encode this as ``null``) and a single-sample histogram
+        returns that sample for every ``q``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise MetricsError(
+                f"histogram {self.name!r}: percentile {q!r} not in [0, 100]"
+            )
         if not self.values:
-            return 0.0
+            return float("nan")
+        if len(self.values) == 1:
+            return float(self.values[0])
         return float(np.percentile(
             np.asarray(self.values, dtype=np.float64), q
         ))
 
     def snapshot(self) -> dict:
+        # Empty histograms report null percentiles/max: NaN is not valid
+        # JSON, and 0.0 would be indistinguishable from a real sample.
+        empty = not self.values
         return {
             "type": "metric", "kind": self.kind, "name": self.name,
             "labels": dict(self.labels), "count": self.count,
             "sum": self.sum, "mean": self.mean,
-            "p50": self.percentile(50), "p95": self.percentile(95),
-            "max": max(self.values) if self.values else 0.0,
+            "p50": None if empty else self.percentile(50),
+            "p95": None if empty else self.percentile(95),
+            "max": None if empty else max(self.values),
         }
 
 

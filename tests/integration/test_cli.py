@@ -51,7 +51,7 @@ class TestExperimentRegistry:
         # every table and figure of the evaluation section (14) plus the
         # extension ablations, the calibration dashboard, and the
         # service-layer experiments
-        assert len(EXPERIMENTS) == 27
+        assert len(EXPERIMENTS) == 28
         paper = [n for n in EXPERIMENTS
                  if n.startswith(("fig", "table"))]
         assert len(paper) == 14
@@ -72,6 +72,71 @@ class TestQuantizeCommand:
         assert "teacher-agreement" in stdout
         assert os.path.exists(out)
 
+class TestProfileCommand:
+    def test_single_inference_profile(self, tmp_path, capsys):
+        import json
+        import os
+        profile_path = os.path.join(tmp_path, "profile.json")
+        flame_path = os.path.join(tmp_path, "stacks.txt")
+        assert main(["profile", "--prompt-tokens", "64",
+                     "--output-tokens", "2",
+                     "--profile-out", profile_path,
+                     "--flamegraph-out", flame_path]) == 0
+        out = capsys.readouterr().out
+        assert "Per-processor attribution" in out
+        assert "roofline" in out
+        with open(profile_path) as f:
+            doc = json.load(f)
+        assert doc["schema"] == "repro.profile/v1"
+        with open(flame_path) as f:
+            lines = f.read().splitlines()
+        assert lines and all(line.rsplit(" ", 1)[1].isdigit()
+                             for line in lines)
+
+    def test_service_profile_experiment(self, capsys):
+        assert main(["run", "service-profile"]) == 0
+        out = capsys.readouterr().out
+        assert "golden service workload" in out
+        assert "Energy attribution" in out
+
+
+class TestBenchCompareCommand:
+    def _artifact(self, tmp_path, name, e2e):
+        from repro.eval.report import Table
+        from repro.obs import make_artifact
+        table = Table(title="t", columns=["config", "e2e s"])
+        table.add_row("baseline", e2e)
+        return make_artifact("t", table, env={}).save(
+            str(tmp_path / f"BENCH_{name}.json")
+        )
+
+    def test_identical_artifacts_pass(self, tmp_path, capsys):
+        base = self._artifact(tmp_path, "a", 2.0)
+        assert main(["bench-compare", base, base]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_injected_regression_fails(self, tmp_path, capsys):
+        base = self._artifact(tmp_path, "a", 2.0)
+        cand = self._artifact(tmp_path, "b", 2.2)  # +10% > 5% tolerance
+        assert main(["bench-compare", base, cand]) == 1
+        captured = capsys.readouterr()
+        assert "regressed" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_loose_tolerance_passes(self, tmp_path):
+        base = self._artifact(tmp_path, "a", 2.0)
+        cand = self._artifact(tmp_path, "b", 2.2)
+        assert main(["bench-compare", "--rel-tol", "0.2",
+                     base, cand]) == 0
+
+    def test_unreadable_artifact_is_usage_error(self, tmp_path, capsys):
+        base = self._artifact(tmp_path, "a", 2.0)
+        assert main(["bench-compare", base,
+                     str(tmp_path / "missing.json")]) == 2
+        assert "bench-compare" in capsys.readouterr().err
+
+
+class TestQuantizeCommandCheckpoint:
     def test_checkpoint_workflow(self, tmp_path, capsys):
         # save float checkpoint -> quantize via CLI -> reload
         import os

@@ -41,9 +41,35 @@ class TestInstruments:
         assert h.percentile(50) == float(np.percentile(values, 50))
         assert reg.samples("lat") == values
 
-    def test_empty_histogram_is_zero(self):
+    def test_empty_histogram_percentile_is_nan(self):
+        import math
         h = MetricsRegistry().histogram("lat")
-        assert h.count == 0 and h.mean == 0.0 and h.percentile(95) == 0.0
+        assert h.count == 0 and h.mean == 0.0
+        assert math.isnan(h.percentile(0))
+        assert math.isnan(h.percentile(95))
+        assert math.isnan(h.percentile(100))
+
+    def test_single_sample_percentile_is_the_sample(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(0.125)
+        for q in (0, 25, 50, 95, 100):
+            assert h.percentile(q) == 0.125
+
+    def test_percentile_rejects_out_of_range(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(MetricsError, match="not in"):
+            h.percentile(101)
+        with pytest.raises(MetricsError, match="not in"):
+            h.percentile(-1)
+
+    def test_empty_histogram_snapshot_is_valid_json(self):
+        snap = MetricsRegistry().histogram("lat").snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] is None and snap["p95"] is None
+        assert snap["max"] is None
+        json.dumps(snap)  # NaN would raise with allow_nan=False
+        assert json.loads(json.dumps(snap)) == snap
 
     def test_kind_conflict_raises(self):
         reg = MetricsRegistry()
@@ -79,6 +105,16 @@ class TestReadOnlyAndExport:
         names = [(s["name"], tuple(sorted(s["labels"].items())))
                  for s in reg.snapshot()]
         assert names == sorted(names)
+
+    def test_snapshot_order_independent_of_insertion(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("z").inc()
+        a.histogram("lat", tier="hi").observe(1.0)
+        a.gauge("depth", tier="lo").set(2)
+        b.gauge("depth", tier="lo").set(2)
+        b.histogram("lat", tier="hi").observe(1.0)
+        b.counter("z").inc()
+        assert a.to_json() == b.to_json()
 
     def test_save_round_trips(self, tmp_path):
         reg = MetricsRegistry()
