@@ -72,3 +72,28 @@ fi
 python scripts/check_trace_schema.py "$prof1"
 echo "OK: golden profile report is byte-identical across runs" \
      "($(wc -c < "$prof1") bytes)"
+
+# The fleet SLO report (repro.fleet/v1) rolls per-device monitors into
+# merged quantile sketches, compliance counts, and burn-rate incident
+# timelines — all sim-clock-stamped, so it too must be a pure function
+# of the seed.
+fleet() {
+    python -c 'from repro.eval import fleet_golden_json
+print(fleet_golden_json(seed=42))'
+}
+
+fleet1=$(mktemp)
+fleet2=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$trace1" "$trace2" "$prof1" "$prof2" \
+     "$fleet1" "$fleet2"' EXIT
+
+fleet > "$fleet1"
+fleet > "$fleet2"
+
+if ! cmp -s "$fleet1" "$fleet2"; then
+    echo "FAIL: consecutive fleet SLO reports differ" >&2
+    exit 1
+fi
+python scripts/check_trace_schema.py "$fleet1"
+echo "OK: fleet SLO report is byte-identical across runs" \
+     "($(wc -c < "$fleet1") bytes)"

@@ -20,6 +20,15 @@ Four modes, selectable by file content:
   :meth:`repro.obs.BenchArtifact.save` — checks that every metric has
   a finite numeric ``value`` and a known ``direction`` and the ``env``
   block is string-valued.
+* ``repro.alerts/v1`` incident timelines written by
+  :meth:`repro.obs.SloMonitor.timeline_json` / ``llmnpu monitor`` /
+  ``llmnpu fleet`` — checks that incidents reference declared SLOs and
+  rules, respect ``pending <= firing <= resolved``, never overlap for
+  the same ``(source, slo, rule)``, and that every firing incident
+  cross-links at least one request span or fault draw.
+* ``repro.fleet/v1`` reports written by ``llmnpu fleet`` — checks the
+  device records, the merged percentile blocks, and the embedded
+  alerts timeline (same invariants as above).
 
 Usage::
 
@@ -40,6 +49,10 @@ METRIC_KINDS = {"counter", "gauge", "histogram"}
 
 PROFILE_SCHEMA = "repro.profile/v1"
 BENCH_SCHEMA = "repro.bench/v1"
+ALERTS_SCHEMA = "repro.alerts/v1"
+FLEET_SCHEMA = "repro.fleet/v1"
+ALERT_STATES = {"pending", "firing", "resolved"}
+LINK_KINDS = {"request", "fault"}
 IDLE_CAUSES = {"graph_build", "sync_wait", "dependency", "starvation"}
 PROFILE_TOL_S = 1e-9
 DIRECTIONS = {"lower", "higher", "info"}
@@ -282,6 +295,123 @@ def check_bench(path, doc):
           f"{len(doc['metrics'])} metrics")
 
 
+def check_alerts(path, doc, quiet=False):
+    for key in ("source", "start_s", "end_s", "n_request_events",
+                "n_fault_events", "slos", "rules", "incidents"):
+        if key not in doc:
+            fail(f"{path}: alerts timeline missing {key!r}")
+    slo_names = set()
+    for i, slo in enumerate(doc["slos"]):
+        where = f"{path}: slos[{i}]"
+        for key in ("name", "objective", "target", "n_events", "n_bad",
+                    "good_fraction", "met"):
+            if key not in slo:
+                fail(f"{where}: missing {key!r}")
+        if not _finite(slo["target"]) or not 0 < slo["target"] < 1:
+            fail(f"{where}: target must be in (0, 1)")
+        slo_names.add(slo["name"])
+    rule_names = set()
+    for i, rule in enumerate(doc["rules"]):
+        where = f"{path}: rules[{i}]"
+        for key in ("name", "long_window_s", "short_window_s",
+                    "max_burn_rate", "for_s", "severity"):
+            if key not in rule:
+                fail(f"{where}: missing {key!r}")
+        if rule["short_window_s"] > rule["long_window_s"]:
+            fail(f"{where}: short window exceeds long window")
+        rule_names.add(rule["name"])
+    n_firing = 0
+    by_pair = {}
+    for i, inc in enumerate(doc["incidents"]):
+        where = f"{path}: incidents[{i}]"
+        for key in ("slo", "rule", "severity", "state", "pending_s",
+                    "firing_s", "resolved_s", "peak_burn_rate", "links"):
+            if key not in inc:
+                fail(f"{where}: missing {key!r}")
+        if inc["slo"] not in slo_names:
+            fail(f"{where}: unknown SLO {inc['slo']!r}")
+        if inc["rule"] not in rule_names:
+            fail(f"{where}: unknown rule {inc['rule']!r}")
+        if inc["state"] not in ALERT_STATES:
+            fail(f"{where}: unknown state {inc['state']!r}")
+        pending, firing, resolved = (inc["pending_s"], inc["firing_s"],
+                                     inc["resolved_s"])
+        if not _finite(pending):
+            fail(f"{where}: pending_s must be a finite number")
+        if firing is not None:
+            n_firing += 1
+            if not _finite(firing) or firing < pending:
+                fail(f"{where}: firing_s must be >= pending_s")
+            if not inc["links"]:
+                fail(f"{where}: firing incident with no cross-links")
+        if resolved is not None:
+            anchor = pending if firing is None else firing
+            if not _finite(resolved) or resolved < anchor:
+                fail(f"{where}: resolved_s precedes "
+                     f"{'firing' if firing is not None else 'pending'}_s")
+        for j, link in enumerate(inc["links"]):
+            if link.get("kind") not in LINK_KINDS:
+                fail(f"{where}: links[{j}] kind {link.get('kind')!r} "
+                     f"not in {sorted(LINK_KINDS)}")
+            need = ("request_id", "track") if link["kind"] == "request" \
+                else ("draw", "fault")
+            for key in need:
+                if key not in link:
+                    fail(f"{where}: links[{j}] missing {key!r}")
+        pair = (inc.get("source", doc["source"]), inc["slo"], inc["rule"])
+        by_pair.setdefault(pair, []).append((i, inc))
+    for pair in sorted(by_pair):
+        ordered = sorted(by_pair[pair], key=lambda item: item[1]["pending_s"])
+        for (_, a), (bi, b) in zip(ordered, ordered[1:]):
+            if a["resolved_s"] is None:
+                fail(f"{path}: incidents[{bi}]: {pair} has a new incident "
+                     f"while an earlier one is still open")
+            if b["pending_s"] < a["resolved_s"]:
+                fail(f"{path}: incidents[{bi}]: {pair} incidents overlap "
+                     f"({b['pending_s']!r} < {a['resolved_s']!r})")
+    if not quiet:
+        print(f"OK: {path}: alerts timeline from {doc['source']!r}: "
+              f"{len(doc['incidents'])} incidents ({n_firing} fired) over "
+              f"{len(slo_names)} SLOs x {len(rule_names)} rules, "
+              f"non-overlapping per (source, slo, rule)")
+
+
+def check_fleet(path, doc):
+    for key in ("n_devices", "devices", "percentiles", "sketches",
+                "alerts"):
+        if key not in doc:
+            fail(f"{path}: fleet report missing {key!r}")
+    if len(doc["devices"]) != doc["n_devices"]:
+        fail(f"{path}: n_devices != len(devices)")
+    for i, device in enumerate(doc["devices"]):
+        where = f"{path}: devices[{i}]"
+        for key in ("name", "device", "seed", "n_requests", "n_completed",
+                    "n_incidents", "n_firing"):
+            if key not in device:
+                fail(f"{where}: missing {key!r}")
+    for key in sorted(doc["percentiles"]):
+        snap = doc["percentiles"][key]
+        where = f"{path}: percentiles[{key!r}]"
+        if not isinstance(snap.get("count"), int) or snap["count"] < 0:
+            fail(f"{where}: count must be a non-negative integer")
+        for stat in ("p50", "p90", "p95", "p99", "max"):
+            value = snap.get(stat)
+            if snap["count"] == 0:
+                if value is not None:
+                    fail(f"{where}: empty sketch with non-null {stat!r}")
+            elif not _finite(value):
+                fail(f"{where}: non-finite {stat!r}")
+        if key not in doc["sketches"]:
+            fail(f"{where}: no matching sketch payload")
+    if doc["alerts"].get("schema") != ALERTS_SCHEMA:
+        fail(f"{path}: embedded alerts schema is "
+             f"{doc['alerts'].get('schema')!r}")
+    check_alerts(path, doc["alerts"], quiet=True)
+    print(f"OK: {path}: fleet report over {doc['n_devices']} devices, "
+          f"{len(doc['percentiles'])} merged percentile keys, "
+          f"{len(doc['alerts']['incidents'])} incidents")
+
+
 def check_file(path):
     with open(path) as f:
         head = f.read(1)
@@ -302,9 +432,14 @@ def check_file(path):
                 check_profile(path, doc)
             elif schema == BENCH_SCHEMA:
                 check_bench(path, doc)
+            elif schema == ALERTS_SCHEMA:
+                check_alerts(path, doc)
+            elif schema == FLEET_SCHEMA:
+                check_fleet(path, doc)
             else:
-                fail(f"{path}: unknown schema {schema!r} (expected "
-                     f"{PROFILE_SCHEMA!r} or {BENCH_SCHEMA!r})")
+                fail(f"{path}: unknown schema {schema!r} (expected one "
+                     f"of {PROFILE_SCHEMA!r}, {BENCH_SCHEMA!r}, "
+                     f"{ALERTS_SCHEMA!r}, {FLEET_SCHEMA!r})")
         else:
             check_jsonl(path)
     else:

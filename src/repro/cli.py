@@ -18,6 +18,7 @@ from typing import Dict, List
 from repro.eval import (
     ablation_chunk_length,
     calibration_dashboard,
+    fleet_slo,
     service_breakdown,
     service_fault_recovery,
     service_load,
@@ -90,6 +91,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "service-profile": ("per-operator/processor attribution + roofline "
                         "+ idle causes + energy over the golden workload",
                         service_profile),
+    "fleet-slo": ("fleet telemetry: merged sketch percentiles + SLO "
+                  "compliance + burn-rate incidents across devices",
+                  fleet_slo),
 }
 
 
@@ -317,6 +321,90 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _write_json(path: str, text: str) -> None:
+    import os
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        f.write(text)
+        if not text.endswith("\n"):
+            f.write("\n")
+
+
+def cmd_fleet(args) -> int:
+    """Simulate a heterogeneous device fleet under SLO monitoring and
+    aggregate the mergeable telemetry: fleet percentiles, compliance,
+    and the merged incident timeline."""
+    import json
+
+    from repro.eval import (
+        default_fleet,
+        fleet_compliance_table,
+        fleet_percentile_table,
+        fleet_report,
+        incident_table,
+    )
+    from repro.obs import validate_timeline_doc
+
+    report = fleet_report(
+        specs=default_fleet(args.devices, seed=args.seed), seed=args.seed
+    )
+    validate_timeline_doc(report["alerts"])
+    for table in (fleet_percentile_table(report),
+                  fleet_compliance_table(report),
+                  incident_table(report["alerts"],
+                                 title=f"Fleet incident timeline "
+                                       f"(seed={args.seed})")):
+        print(table.render())
+        print()
+    if args.report_out:
+        _write_json(args.report_out,
+                    json.dumps(report, indent=2, sort_keys=True))
+        print(f"[fleet report (repro.fleet/v1) -> {args.report_out}]")
+    if args.alerts_out:
+        _write_json(args.alerts_out,
+                    json.dumps(report["alerts"], indent=2, sort_keys=True))
+        print(f"[incident timeline (repro.alerts/v1) -> "
+              f"{args.alerts_out}]")
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    """Run the seeded fault-storm scenario under SLO monitoring and
+    print the compliance scoreboard + burn-rate incident timeline."""
+    from repro.eval import fault_storm_monitor, incident_table
+    from repro.eval.report import Table
+    from repro.obs import validate_timeline_doc
+
+    monitor = fault_storm_monitor(seed=args.seed,
+                                  transient_rate=args.transient_rate,
+                                  permanent_rate=args.permanent_rate)
+    doc = monitor.timeline()
+    validate_timeline_doc(doc)
+    scoreboard = Table(
+        title=f"SLO compliance — fault storm (seed={args.seed}, "
+              f"transient={args.transient_rate:g}, "
+              f"permanent={args.permanent_rate:g})",
+        columns=["slo", "objective", "tier", "target", "events", "bad",
+                 "good", "met"],
+    )
+    for slo in doc["slos"]:
+        scoreboard.add_row(slo["name"], slo["objective"],
+                           slo["tier"] or "*", slo["target"],
+                           slo["n_events"], slo["n_bad"],
+                           slo["good_fraction"],
+                           "yes" if slo["met"] else "NO")
+    print(scoreboard.render())
+    print()
+    print(incident_table(
+        doc, title=f"Incident timeline (seed={args.seed})").render())
+    if args.alerts_out:
+        _write_json(args.alerts_out,
+                    monitor.timeline_json(indent=2))
+        print(f"\n[incident timeline (repro.alerts/v1) -> "
+              f"{args.alerts_out}]")
+    return 0
+
+
 def cmd_bench_compare(args) -> int:
     """Compare benchmark artifacts; exit 1 on regression."""
     from repro.obs import ArtifactError, compare_paths
@@ -440,6 +528,32 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--flamegraph-out", default=None,
                          help="write collapsed-stack flamegraph lines")
     profile.set_defaults(func=cmd_profile)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a heterogeneous device fleet under SLO "
+             "monitoring; merge sketches + incident timelines",
+    )
+    fleet.add_argument("--devices", type=int, default=3,
+                       help="fleet size (cycles flagship/mid/budget)")
+    fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument("--report-out", default=None,
+                       help="write the repro.fleet/v1 report JSON")
+    fleet.add_argument("--alerts-out", default=None,
+                       help="write the merged repro.alerts/v1 timeline")
+    fleet.set_defaults(func=cmd_fleet)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="run the seeded fault-storm scenario under SLO monitoring; "
+             "print compliance + burn-rate incidents",
+    )
+    monitor.add_argument("--seed", type=int, default=42)
+    monitor.add_argument("--transient-rate", type=float, default=0.35)
+    monitor.add_argument("--permanent-rate", type=float, default=0.1)
+    monitor.add_argument("--alerts-out", default=None,
+                         help="write the repro.alerts/v1 timeline JSON")
+    monitor.set_defaults(func=cmd_monitor)
 
     compare = sub.add_parser(
         "bench-compare",

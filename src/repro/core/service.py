@@ -292,6 +292,7 @@ class LlmService:
         self._pending: Dict[str, List[ServiceRequest]] = {}
         self._cancelled: set = set()
         self._est_cache: Dict[Tuple, InferenceReport] = {}
+        self._observers: List = []
         self._next_id = 0
 
     # -- engine lifecycle -----------------------------------------------------
@@ -510,6 +511,23 @@ class LlmService:
                 tier=req.tier.name, output_tokens=req.output_tokens,
             )
 
+    def add_observer(self, observer) -> None:
+        """Register a streaming consumer of finished request records.
+
+        ``observer`` is called as ``observer(record)`` with every
+        :class:`ServedRequest` the service finalizes (all terminal
+        statuses, both serving paths), synchronously at the point the
+        record is folded into the live metrics.  Observation is strictly
+        read-only: observers receive the frozen record after all clock
+        arithmetic is done, so attaching any number of them leaves the
+        served results byte-identical (the same no-op guarantee tracing
+        makes).  This is the hook the SLO monitors
+        (:class:`~repro.obs.monitor.SloMonitor`) ride on.
+        """
+        if not callable(observer):
+            raise EngineError("observer must be callable")
+        self._observers.append(observer)
+
     def _observe(self, record: ServedRequest) -> None:
         """Fold one finished record into the live metrics registry."""
         reg = self.metrics_registry
@@ -523,6 +541,8 @@ class LlmService:
                           tier=record.tier).observe(record.turnaround_s)
             reg.histogram("service_queueing_s",
                           tier=record.tier).observe(record.queueing_s)
+        for observer in self._observers:
+            observer(record)
 
     # -- synchronous serving (legacy path) ------------------------------------
 

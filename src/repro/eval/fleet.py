@@ -1,0 +1,389 @@
+"""Fleet telemetry: merged sketches and SLO monitoring across devices.
+
+An on-device LLM service ships to a heterogeneous fleet — flagship
+phones next to budget SoCs, each with its own fault profile.  Per-device
+raw latency samples never leave the device; what a fleet pipeline can
+afford to collect is **mergeable telemetry**: bounded-size
+:class:`~repro.obs.QuantileSketch`es and ``repro.alerts/v1`` incident
+timelines.  This driver simulates that pipeline end to end:
+
+1. each :class:`FleetDeviceSpec` runs the seeded two-tier workload on
+   its own :class:`~repro.core.LlmService` with a device-specific
+   :class:`~repro.hw.sim.FaultSpec`, watched by a streaming
+   :class:`~repro.obs.SloMonitor`;
+2. the per-device sketches merge into exact fleet-wide percentiles
+   (merging the sketches equals sketching the pooled samples —
+   bit-for-bit, see ``tests/eval/test_fleet.py``);
+3. the per-device incident timelines concatenate (tagged with their
+   ``source`` device) into one fleet ``repro.alerts/v1`` document, and
+   the per-SLO good/bad counts sum into a fleet compliance scoreboard.
+
+Everything is a pure function of the fleet seed: the ``repro.fleet/v1``
+report is byte-identical across processes, which is what
+``scripts/check_determinism.sh`` pins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.eval.report import Table
+from repro.eval.service_eval import two_tier_arrivals, _run_two_tier
+from repro.hw.memory import GiB
+from repro.hw.sim import FaultSpec
+from repro.hw.soc import REDMI_K60_PRO, SocSpec
+from repro.obs import (
+    DEFAULT_RULES,
+    ALERTS_SCHEMA,
+    BurnRateRule,
+    QuantileSketch,
+    SloMonitor,
+    SloSpec,
+)
+
+#: Schema identifier stamped into every fleet SLO report.
+FLEET_SCHEMA = "repro.fleet/v1"
+
+#: The fleet's default objectives.  Targets are chosen so the burn-rate
+#: ceiling ``1 / (1 - target)`` clears the fast-burn rule's threshold —
+#: an SLO with a loose target (say 0.5) can never burn faster than 2x
+#: and would make the 4x fast-burn rule unsatisfiable by construction.
+FLEET_SLOS: Tuple[SloSpec, ...] = (
+    SloSpec(name="interactive-latency", objective="latency", target=0.9,
+            tier="interactive", threshold=4.0),
+    SloSpec(name="interactive-availability", objective="availability",
+            target=0.95, tier="interactive"),
+    SloSpec(name="background-availability", objective="availability",
+            target=0.8, tier="background"),
+    SloSpec(name="request-energy", objective="energy", target=0.9,
+            threshold=15.0),
+)
+
+#: A budget sibling of the paper's devices: uniformly slower CPU/GPU,
+#: half-speed NPU, 8 GB of DRAM — the device that turns the shared
+#: two-tier stream into sustained overload.
+BUDGET_DEVICE: SocSpec = REDMI_K60_PRO.scaled(
+    name="Redmi Budget (concept)",
+    soc="Snapdragon 7 class",
+    cpu_gpu=0.6,
+    npu=0.5,
+    dram_bytes=8 * GiB,
+)
+
+
+@dataclass(frozen=True)
+class FleetDeviceSpec:
+    """One simulated device of the fleet.
+
+    ``device`` is a preset name or a full :class:`SocSpec`; ``seed``
+    drives both the arrival stream and (offset, so the streams stay
+    independent) the fault injector.
+    """
+
+    name: str
+    device: Union[str, SocSpec]
+    seed: int
+    transient_rate: float = 0.0
+    permanent_rate: float = 0.0
+    n_interactive: int = 12
+    n_background: int = 10
+    model: str = "Qwen1.5-1.8B"
+
+    @property
+    def device_name(self) -> str:
+        return self.device if isinstance(self.device, str) \
+            else self.device.name
+
+    def fault_spec(self) -> FaultSpec:
+        return FaultSpec(transient_rate=self.transient_rate,
+                         permanent_rate=self.permanent_rate,
+                         seed=self.seed + 819)
+
+
+#: (device, transient_rate, permanent_rate) templates the default fleet
+#: cycles through: a healthy flagship, a mid-tier with flaky thermals,
+#: and a budget device in a fault storm.
+_FLEET_TEMPLATES: Tuple[Tuple[Union[str, SocSpec], float, float], ...] = (
+    ("Redmi K70 Pro", 0.02, 0.0),
+    ("Redmi K60 Pro", 0.15, 0.0),
+    (BUDGET_DEVICE, 0.35, 0.1),
+)
+
+
+def default_fleet(n_devices: int = 3,
+                  seed: int = 42) -> Tuple[FleetDeviceSpec, ...]:
+    """A heterogeneous fleet cycling flagship / mid-tier / budget."""
+    from repro.errors import ReproError
+    if n_devices < 1:
+        raise ReproError("fleet needs at least one device")
+    specs = []
+    for i in range(n_devices):
+        device, transient, permanent = _FLEET_TEMPLATES[
+            i % len(_FLEET_TEMPLATES)]
+        label = device if isinstance(device, str) else device.name
+        slug = label.lower().split()[1 if " " in label else 0]
+        specs.append(FleetDeviceSpec(
+            name=f"dev{i:02d}-{slug}",
+            device=device,
+            seed=seed + 100 * i,
+            transient_rate=transient,
+            permanent_rate=permanent,
+        ))
+    return tuple(specs)
+
+
+def run_device(spec: FleetDeviceSpec,
+               slos: Sequence[SloSpec] = FLEET_SLOS,
+               rules: Sequence[BurnRateRule] = DEFAULT_RULES):
+    """Run one device's workload under monitoring.
+
+    Returns ``(service, monitor)`` — the monitor holds the device's
+    sketches and incident timeline, the service the raw records.
+    """
+    monitor = SloMonitor(slos, rules=rules)
+    stream = two_tier_arrivals(n_interactive=spec.n_interactive,
+                               n_background=spec.n_background,
+                               seed=spec.seed)
+    service = _run_two_tier(
+        "priority", True, spec.model, spec.device, stream,
+        fault_spec=spec.fault_spec(), monitor=monitor,
+    )
+    return service, monitor
+
+
+def merged_sketches(
+        monitors: Sequence[SloMonitor]) -> Dict[str, QuantileSketch]:
+    """Merge per-device sketches key-by-key into fleet sketches."""
+    merged: Dict[str, QuantileSketch] = {}
+    for monitor in monitors:
+        for key, sketch in monitor.sketches.items():
+            if key in merged:
+                merged[key].merge(sketch)
+            else:
+                merged[key] = QuantileSketch.from_dict(sketch.to_dict())
+    return merged
+
+
+def merged_compliance(slos: Sequence[SloSpec],
+                      monitors: Sequence[SloMonitor]) -> List[dict]:
+    """Fleet-wide compliance: per-SLO event/bad counts summed across
+    devices, then re-derived good-fraction / budget burn / met."""
+    per_device = [monitor.compliance() for monitor in monitors]
+    out = []
+    for i, slo in enumerate(slos):
+        total = sum(rows[i]["n_events"] for rows in per_device)
+        bad = sum(rows[i]["n_bad"] for rows in per_device)
+        good_fraction = 1.0 if total == 0 else 1.0 - bad / total
+        record = slo.to_dict()
+        record.update({
+            "n_events": total,
+            "n_bad": bad,
+            "good_fraction": good_fraction,
+            "budget_burned": (0.0 if total == 0
+                              else (bad / total) / slo.error_budget),
+            "met": good_fraction >= slo.target,
+        })
+        out.append(record)
+    return out
+
+
+def merged_alerts(specs: Sequence[FleetDeviceSpec],
+                  monitors: Sequence[SloMonitor],
+                  slos: Sequence[SloSpec] = FLEET_SLOS,
+                  rules: Sequence[BurnRateRule] = DEFAULT_RULES) -> dict:
+    """One fleet ``repro.alerts/v1`` document.
+
+    Incidents keep their device identity in a ``source`` field — the
+    non-overlap invariant of the schema holds per ``(source, slo,
+    rule)``, so concurrent incidents on different devices are legal.
+    """
+    incidents: List[dict] = []
+    starts, ends = [], []
+    n_requests = n_faults = 0
+    for spec, monitor in zip(specs, monitors):
+        timeline = monitor.timeline(source=spec.name)
+        for incident in timeline["incidents"]:
+            incidents.append({**incident, "source": spec.name})
+        if timeline["n_request_events"] or timeline["n_fault_events"]:
+            starts.append(timeline["start_s"])
+            ends.append(timeline["end_s"])
+        n_requests += timeline["n_request_events"]
+        n_faults += timeline["n_fault_events"]
+    incidents.sort(key=lambda inc: (inc["pending_s"], inc["source"],
+                                    inc["slo"], inc["rule"]))
+    return {
+        "schema": ALERTS_SCHEMA,
+        "source": "fleet",
+        "start_s": min(starts) if starts else 0.0,
+        "end_s": max(ends) if ends else 0.0,
+        "n_request_events": n_requests,
+        "n_fault_events": n_faults,
+        "slos": merged_compliance(slos, monitors),
+        "rules": [rule.to_dict() for rule in rules],
+        "incidents": incidents,
+    }
+
+
+def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
+                 seed: int = 42,
+                 slos: Sequence[SloSpec] = FLEET_SLOS,
+                 rules: Sequence[BurnRateRule] = DEFAULT_RULES) -> dict:
+    """Run the fleet and aggregate into a ``repro.fleet/v1`` report."""
+    if specs is None:
+        specs = default_fleet(seed=seed)
+    specs = tuple(specs)
+    services, monitors = [], []
+    for spec in specs:
+        service, monitor = run_device(spec, slos=slos, rules=rules)
+        services.append(service)
+        monitors.append(monitor)
+    sketches = merged_sketches(monitors)
+    alerts = merged_alerts(specs, monitors, slos=slos, rules=rules)
+    devices = []
+    for spec, service, monitor in zip(specs, services, monitors):
+        m = service.metrics()
+        timeline_incidents = [
+            inc for inc in alerts["incidents"] if inc["source"] == spec.name
+        ]
+        devices.append({
+            "name": spec.name,
+            "device": spec.device_name,
+            "seed": spec.seed,
+            "transient_rate": spec.transient_rate,
+            "permanent_rate": spec.permanent_rate,
+            "n_requests": len(service.requests),
+            "n_completed": m.n_completed,
+            "n_rejected": m.n_rejected,
+            "n_timeout": m.n_timeout,
+            "n_failed": m.n_failed,
+            "n_faults": monitor.n_faults,
+            "n_incidents": len(timeline_incidents),
+            "n_firing": sum(1 for inc in timeline_incidents
+                            if inc["firing_s"] is not None),
+        })
+    return {
+        "schema": FLEET_SCHEMA,
+        "seed": seed,
+        "n_devices": len(specs),
+        "devices": devices,
+        "percentiles": {
+            key: sketches[key].snapshot_percentiles()
+            for key in sorted(sketches)
+        },
+        "sketches": {key: sketches[key].to_dict()
+                     for key in sorted(sketches)},
+        "alerts": alerts,
+    }
+
+
+def fleet_golden_json(seed: int = 42) -> str:
+    """Canonical fleet report JSON — the determinism tripwire."""
+    return json.dumps(fleet_report(seed=seed), sort_keys=True)
+
+
+def fleet_alerts_json(seed: int = 42,
+                      indent: Optional[int] = None) -> str:
+    """The default fleet's merged ``repro.alerts/v1`` document."""
+    return json.dumps(fleet_report(seed=seed)["alerts"], indent=indent,
+                      sort_keys=True)
+
+
+# -- the seeded fault-storm scenario (the `monitor` subcommand) ---------------
+
+def fault_storm_monitor(seed: int = 42, transient_rate: float = 0.35,
+                        permanent_rate: float = 0.1) -> SloMonitor:
+    """The golden two-tier stream under a fault storm, monitored.
+
+    The acceptance scenario for burn-rate alerting: at storm-level fault
+    rates the availability SLOs page (every firing incident cross-links
+    the bad request tracks and fault draws in its window), and the
+    timeline is a pure function of ``seed``.
+    """
+    monitor = SloMonitor(FLEET_SLOS)
+    _run_two_tier(
+        "priority", True, "Qwen1.5-1.8B", "Redmi K70 Pro",
+        two_tier_arrivals(seed=seed),
+        fault_spec=FaultSpec(transient_rate=transient_rate,
+                             permanent_rate=permanent_rate,
+                             seed=819),
+        monitor=monitor,
+    )
+    return monitor
+
+
+# -- tables -------------------------------------------------------------------
+
+def fleet_percentile_table(report: dict) -> Table:
+    """Merged fleet percentiles per (metric, tier)."""
+    table = Table(
+        title=f"Fleet percentiles — {report['n_devices']} devices "
+              f"(seed={report['seed']})",
+        columns=["metric", "count", "p50", "p90", "p95", "p99", "max"],
+    )
+    for key, snap in report["percentiles"].items():
+        table.add_row(key, snap["count"], snap["p50"], snap["p90"],
+                      snap["p95"], snap["p99"], snap["max"])
+    table.add_note("percentiles come from merged per-device quantile "
+                   "sketches — identical to sketching the pooled "
+                   "samples, no raw latencies leave a device")
+    return table
+
+
+def fleet_compliance_table(report: dict) -> Table:
+    """Fleet-wide SLO scoreboard + per-device incident counts."""
+    table = Table(
+        title=f"Fleet SLO compliance — {report['n_devices']} devices "
+              f"(seed={report['seed']})",
+        columns=["slo", "objective", "tier", "target", "events", "bad",
+                 "good", "met", "incidents", "firing"],
+    )
+    incidents = report["alerts"]["incidents"]
+    for slo in report["alerts"]["slos"]:
+        n_inc = sum(1 for inc in incidents if inc["slo"] == slo["name"])
+        n_fire = sum(1 for inc in incidents
+                     if inc["slo"] == slo["name"]
+                     and inc["firing_s"] is not None)
+        table.add_row(slo["name"], slo["objective"], slo["tier"] or "*",
+                      slo["target"], slo["n_events"], slo["n_bad"],
+                      slo["good_fraction"], "yes" if slo["met"] else "NO",
+                      n_inc, n_fire)
+    for device in report["devices"]:
+        table.add_note(
+            f"{device['name']} ({device['device']}): "
+            f"{device['n_completed']}/{device['n_requests']} completed, "
+            f"{device['n_faults']} faults, {device['n_incidents']} "
+            f"incidents ({device['n_firing']} fired)"
+        )
+    return table
+
+
+def incident_table(alerts: dict, title: str = "Incident timeline") -> Table:
+    """One row per incident of a ``repro.alerts/v1`` document."""
+    table = Table(
+        title=title,
+        columns=["source", "slo", "rule", "sev", "state", "pending s",
+                 "firing s", "resolved s", "peak burn", "links"],
+    )
+    for inc in alerts["incidents"]:
+        table.add_row(inc.get("source", alerts.get("source", "-")),
+                      inc["slo"], inc["rule"], inc["severity"],
+                      inc["state"], inc["pending_s"], inc["firing_s"],
+                      inc["resolved_s"], inc["peak_burn_rate"],
+                      len(inc["links"]))
+    if not alerts["incidents"]:
+        table.add_note("no incidents — every burn-rate rule stayed "
+                       "below threshold")
+    return table
+
+
+def fleet_slo(n_devices: int = 3, seed: int = 42):
+    """Experiment driver: fleet percentiles + compliance + incidents."""
+    report = fleet_report(specs=default_fleet(n_devices, seed=seed),
+                          seed=seed)
+    return (fleet_percentile_table(report),
+            fleet_compliance_table(report),
+            incident_table(report["alerts"],
+                           title=f"Fleet incident timeline "
+                                 f"(seed={seed})"))

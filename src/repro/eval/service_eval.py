@@ -168,11 +168,14 @@ def _run_two_tier(
     fault_spec: Optional[FaultSpec] = None,
     tracer=None,
     metrics=None,
+    monitor=None,
 ) -> LlmService:
     service = LlmService(device, EngineConfig(), scheduler=scheduler,
                          admission=admission, fault_spec=fault_spec,
                          tiers=EXPERIMENT_TIERS, tracer=tracer,
                          metrics=metrics)
+    if monitor is not None:
+        monitor.attach(service)
     for tier, sample, arrival in stream:
         service.enqueue(model, sample.prompt_tokens, sample.output_tokens,
                         arrival_s=arrival, tier=tier)
@@ -264,7 +267,8 @@ def service_fault_recovery(
     return table
 
 
-def service_golden_records(seed: int = 42, tracer=None, metrics=None):
+def service_golden_records(seed: int = 42, tracer=None, metrics=None,
+                           monitor=None):
     """The golden regression scenario: two-tier overload with faults.
 
     Returns the served :class:`~repro.core.ServedRequest` records of the
@@ -272,15 +276,15 @@ def service_golden_records(seed: int = 42, tracer=None, metrics=None):
     seeded transient-fault injector — every field is a pure function of
     ``seed``, which makes this the determinism tripwire for future
     scheduler changes.  Pass a :class:`~repro.obs.Tracer` /
-    :class:`~repro.obs.MetricsRegistry` to observe the run; the records
-    are identical either way (the no-op guarantee the regression tests
-    pin down).
+    :class:`~repro.obs.MetricsRegistry` / :class:`~repro.obs.SloMonitor`
+    to observe the run; the records are identical either way (the no-op
+    guarantee the regression tests pin down).
     """
     stream = two_tier_arrivals(seed=seed)
     service = _run_two_tier(
         "priority", True, "Qwen1.5-1.8B", "Redmi K70 Pro", stream,
         fault_spec=FaultSpec(transient_rate=0.1, seed=7),
-        tracer=tracer, metrics=metrics,
+        tracer=tracer, metrics=metrics, monitor=monitor,
     )
     return service
 

@@ -85,6 +85,7 @@ class FaultInjector:
         self._suspend_depth = 0
         self._tracer = None
         self._trace_track = ("service", "faults")
+        self._listeners: List = []
 
     def attach_tracer(self, tracer, proc: str = "service",
                       thread: str = "faults") -> None:
@@ -92,6 +93,21 @@ class FaultInjector:
         self._tracer = tracer if tracer is not None and tracer.enabled \
             else None
         self._trace_track = (proc, thread)
+
+    def add_listener(self, listener) -> None:
+        """Register a draw-stream consumer.
+
+        ``listener`` is called as ``listener(index, kind, now_s)`` for
+        every *consumed* draw (``kind`` is ``None`` for a clean draw);
+        suspended checks consume nothing and notify nobody, so cost
+        estimation stays invisible.  Listeners observe after the draw is
+        fully decided — they cannot perturb the fault stream.  This is
+        the hook SLO monitors use to cross-link alert windows to
+        injected faults.
+        """
+        if not callable(listener):
+            raise SchedulingError("fault listener must be callable")
+        self._listeners.append(listener)
 
     def draw(self, now_s: float = 0.0) -> Optional[str]:
         """One fault draw: ``None``, ``'transient'`` or ``'permanent'``."""
@@ -119,6 +135,8 @@ class FaultInjector:
                 ts_s=now_s, cat="fault", draw=index,
                 kind=kind or "ok",
             )
+        for listener in self._listeners:
+            listener(index, kind, now_s)
         return kind
 
     def check(self, now_s: float = 0.0) -> None:

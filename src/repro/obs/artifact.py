@@ -379,8 +379,13 @@ def compare_paths(baseline_path: str, candidate_path: str,
         if n.startswith("BENCH_") and n.endswith(".json")
     )
     if not names:
+        # An empty baseline would make every comparison vacuously pass —
+        # the same silent-shrink failure mode as a missing metric, so it
+        # is a usage error (`llmnpu bench-compare` exits 2), never a
+        # clean run.
         raise ArtifactError(
-            f"no BENCH_*.json artifacts under {baseline_path!r}"
+            f"no BENCH_*.json artifacts under {baseline_path!r} — "
+            f"an empty baseline cannot gate anything (wrong directory?)"
         )
     deltas: List[MetricDelta] = []
     for name in names:

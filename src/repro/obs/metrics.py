@@ -21,6 +21,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import json
+import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -38,6 +39,22 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _require_finite(kind: str, name: str, value: float) -> float:
+    """Reject NaN/inf at the instrument boundary.
+
+    A single NaN observation would silently poison ``Histogram.sum`` /
+    ``mean`` and every report built on them; an inf would do the same to
+    counters.  Rejection must happen here — downstream aggregation has
+    no way to tell a poisoned sum from a real one.
+    """
+    value = float(value)
+    if not math.isfinite(value):
+        raise MetricsError(
+            f"{kind} {name!r}: non-finite value {value!r}"
+        )
+    return value
+
+
 class Counter:
     """Monotonically increasing value."""
 
@@ -50,6 +67,7 @@ class Counter:
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        amount = _require_finite("counter", self.name, amount)
         if amount < 0:
             raise MetricsError(
                 f"counter {self.name!r}: negative increment {amount!r}"
@@ -73,7 +91,7 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        self.value = _require_finite("gauge", self.name, value)
 
     def snapshot(self) -> dict:
         return {"type": "metric", "kind": self.kind, "name": self.name,
@@ -97,7 +115,7 @@ class Histogram:
         self.values: List[float] = []
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        self.values.append(_require_finite("histogram", self.name, value))
 
     @property
     def count(self) -> int:

@@ -1,0 +1,156 @@
+"""Fleet telemetry: merge-equals-pooled acceptance, determinism, storms."""
+
+import json
+
+import pytest
+
+from repro.eval import (
+    FLEET_SCHEMA,
+    FLEET_SLOS,
+    default_fleet,
+    fault_storm_monitor,
+    fleet_compliance_table,
+    fleet_golden_json,
+    fleet_percentile_table,
+    fleet_report,
+    incident_table,
+    merged_sketches,
+    run_device,
+)
+from repro.obs import QuantileSketch, validate_timeline_doc
+
+
+@pytest.fixture(scope="module")
+def fleet_runs():
+    """Run the default 3-device fleet once; share across tests."""
+    specs = default_fleet(n_devices=3, seed=42)
+    return specs, [run_device(spec) for spec in specs]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fleet_report(seed=42)
+
+
+class TestMergeEqualsPooled:
+    def test_fleet_percentiles_match_pooled_sample_sketch(self, fleet_runs):
+        # ACCEPTANCE: merging the per-device sketches must equal a
+        # single sketch fed every device's raw samples, exactly.
+        _, runs = fleet_runs
+        monitors = [monitor for _, monitor in runs]
+        fleet = merged_sketches(monitors)
+        assert fleet  # the fleet observed completed requests
+        for key in fleet:
+            pooled = QuantileSketch(alpha=monitors[0].sketch_alpha)
+            for service, _ in runs:
+                field, _, tier = key.partition("/")
+                for record in service.requests:
+                    if record.status == "completed" and record.tier == tier:
+                        pooled.observe(_sample(record, field))
+            assert pooled.count == fleet[key].count
+            assert pooled.to_dict() == fleet[key].to_dict()
+            for q in (50.0, 90.0, 95.0, 99.0):
+                assert fleet[key].percentile(q) == pooled.percentile(q)
+
+    def test_merge_order_does_not_matter(self, fleet_runs):
+        _, runs = fleet_runs
+        monitors = [monitor for _, monitor in runs]
+        forward = merged_sketches(monitors)
+        backward = merged_sketches(list(reversed(monitors)))
+        for key in forward:
+            assert forward[key].to_dict() == backward[key].to_dict()
+
+
+def _sample(record, field):
+    if field == "turnaround_s":
+        return record.turnaround_s
+    if field == "queueing_s":
+        return record.queueing_s
+    if field == "energy_j":
+        return record.report.energy_j
+    raise AssertionError(f"unexpected sketch key field {field!r}")
+
+
+class TestFleetReport:
+    def test_structure_and_schema(self, report):
+        assert report["schema"] == FLEET_SCHEMA
+        assert report["n_devices"] == 3
+        names = [device["name"] for device in report["devices"]]
+        assert names == ["dev00-k70", "dev01-k60", "dev02-budget"]
+        for device in report["devices"]:
+            assert device["n_requests"] == 22
+            assert device["n_completed"] <= device["n_requests"]
+        validate_timeline_doc(report["alerts"])
+
+    def test_budget_device_suffers_most(self, report):
+        healthy, storm = report["devices"][0], report["devices"][2]
+        assert storm["n_completed"] < healthy["n_completed"]
+        assert storm["n_incidents"] > healthy["n_incidents"]
+        assert storm["n_faults"] > 0
+
+    def test_firing_incidents_cross_link(self, report):
+        firing = [inc for inc in report["alerts"]["incidents"]
+                  if inc["firing_s"] is not None]
+        assert firing
+        for incident in firing:
+            assert incident["links"]
+            for link in incident["links"]:
+                assert link["kind"] in ("request", "fault")
+
+    def test_percentile_snaps_mirror_sketch_payloads(self, report):
+        for key, snap in report["percentiles"].items():
+            sketch = QuantileSketch.from_dict(report["sketches"][key])
+            assert snap["count"] == sketch.count
+            if snap["count"]:
+                assert snap["p50"] == sketch.percentile(50.0)
+
+    def test_golden_json_deterministic(self):
+        assert fleet_golden_json(seed=42) == fleet_golden_json(seed=42)
+
+    def test_seed_changes_report(self):
+        assert fleet_golden_json(seed=42) != fleet_golden_json(seed=7)
+
+    def test_tables_render(self, report):
+        for table in (fleet_percentile_table(report),
+                      fleet_compliance_table(report),
+                      incident_table(report["alerts"])):
+            text = table.render()
+            assert len(text.splitlines()) > 3
+
+
+class TestFaultStorm:
+    def test_storm_timeline_is_deterministic_and_fires(self):
+        first = fault_storm_monitor(seed=42)
+        second = fault_storm_monitor(seed=42)
+        assert first.timeline_json() == second.timeline_json()
+        doc = first.timeline()
+        validate_timeline_doc(doc)
+        firing = [inc for inc in doc["incidents"]
+                  if inc["firing_s"] is not None]
+        assert firing
+        for incident in firing:
+            assert incident["links"]
+
+    def test_storm_sees_fault_draws(self):
+        monitor = fault_storm_monitor(seed=42)
+        assert monitor.n_faults > 0
+        doc = monitor.timeline()
+        fault_links = [link
+                       for inc in doc["incidents"]
+                       for link in inc["links"]
+                       if link["kind"] == "fault"]
+        assert fault_links
+        for link in fault_links:
+            assert link["fault"] in ("transient", "permanent")
+
+
+class TestDefaultFleet:
+    def test_templates_cycle_beyond_three(self):
+        specs = default_fleet(n_devices=5, seed=42)
+        assert len(specs) == 5
+        assert specs[3].device_name == specs[0].device_name
+        assert len({spec.seed for spec in specs}) == 5
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(Exception):
+            default_fleet(n_devices=0)

@@ -49,9 +49,9 @@ class TestParser:
 class TestExperimentRegistry:
     def test_registry_complete(self):
         # every table and figure of the evaluation section (14) plus the
-        # extension ablations, the calibration dashboard, and the
-        # service-layer experiments
-        assert len(EXPERIMENTS) == 28
+        # extension ablations, the calibration dashboard, the
+        # service-layer experiments, and fleet-slo
+        assert len(EXPERIMENTS) == 29
         paper = [n for n in EXPERIMENTS
                  if n.startswith(("fig", "table"))]
         assert len(paper) == 14
@@ -134,6 +134,50 @@ class TestBenchCompareCommand:
         assert main(["bench-compare", base,
                      str(tmp_path / "missing.json")]) == 2
         assert "bench-compare" in capsys.readouterr().err
+
+    def test_empty_baseline_dir_is_usage_error(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        candidate = tmp_path / "candidate"
+        baseline.mkdir()
+        candidate.mkdir()
+        assert main(["bench-compare", str(baseline), str(candidate)]) == 2
+        assert "no BENCH_*.json artifacts" in capsys.readouterr().err
+
+
+class TestFleetCommands:
+    def test_fleet_writes_valid_artifacts(self, tmp_path, capsys):
+        report_path = tmp_path / "fleet_report.json"
+        alerts_path = tmp_path / "fleet_alerts.json"
+        assert main(["fleet", "--devices", "3", "--seed", "42",
+                     "--report-out", str(report_path),
+                     "--alerts-out", str(alerts_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet percentiles" in out
+        assert "dev02-budget" in out
+        import json
+        from repro.eval import FLEET_SCHEMA
+        from repro.obs import validate_timeline_doc
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == FLEET_SCHEMA
+        validate_timeline_doc(json.loads(alerts_path.read_text()))
+
+    def test_monitor_writes_valid_timeline(self, tmp_path, capsys):
+        alerts_path = tmp_path / "storm_alerts.json"
+        assert main(["monitor", "--seed", "42",
+                     "--alerts-out", str(alerts_path)]) == 0
+        out = capsys.readouterr().out
+        assert "burn" in out
+        import json
+        from repro.obs import validate_timeline_doc
+        doc = json.loads(alerts_path.read_text())
+        validate_timeline_doc(doc)
+        assert any(inc["firing_s"] is not None for inc in doc["incidents"])
+
+    def test_fleet_slo_experiment_runs(self, capsys):
+        assert main(["run", "fleet-slo"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet percentiles" in out
+        assert "SLO compliance" in out
 
 
 class TestQuantizeCommandCheckpoint:

@@ -20,6 +20,7 @@ EXAMPLES = [
     "chat_summary.py",
     "custom_device.py",
     "assistant_chat.py",
+    "fleet_monitor.py",
 ]
 
 

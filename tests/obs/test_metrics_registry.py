@@ -22,6 +22,24 @@ class TestInstruments:
         with pytest.raises(MetricsError, match="negative"):
             reg.counter("c").inc(-1.0)
 
+    def test_instruments_reject_nan_and_inf(self):
+        # a single NaN would poison every aggregate downstream; reject
+        # at the instrument boundary and leave state untouched
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1.0)
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(3.0)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(MetricsError, match="finite"):
+                reg.counter("c").inc(bad)
+            with pytest.raises(MetricsError, match="finite"):
+                reg.gauge("g").set(bad)
+            with pytest.raises(MetricsError, match="finite"):
+                reg.histogram("h").observe(bad)
+        assert reg.value("c") == 1.0
+        assert reg.value("g") == 2.0
+        assert reg.histogram("h").count == 1
+
     def test_gauge_last_write_wins(self):
         reg = MetricsRegistry()
         reg.gauge("depth").set(3)

@@ -9,7 +9,8 @@ never folded into it, and fault draws are consumed identically.
 import pytest
 
 from repro.eval import service_golden_records, service_golden_snapshot
-from repro.obs import MetricsRegistry, Tracer
+from repro.eval.fleet import FLEET_SLOS, fault_storm_monitor
+from repro.obs import MetricsRegistry, SloMonitor, Tracer
 
 SEED = 42
 
@@ -23,6 +24,12 @@ def untraced():
 def traced():
     return service_golden_records(seed=SEED, tracer=Tracer(),
                                   metrics=MetricsRegistry())
+
+
+@pytest.fixture(scope="module")
+def monitored():
+    return service_golden_records(seed=SEED,
+                                  monitor=SloMonitor(FLEET_SLOS))
 
 
 class TestTracingIsPureObservation:
@@ -73,6 +80,47 @@ class TestTracingIsPureObservation:
         assert len(untraced.tracer.events) == 0
         # metrics always accumulate (cheap counters), tracing is opt-in
         assert len(untraced.metrics_registry) > 0
+
+
+class TestMonitoringIsPureObservation:
+    """The SLO monitor rides the same observer hooks — same guarantee."""
+
+    def test_served_records_identical(self, untraced, monitored):
+        assert [r.key() for r in untraced.requests] == \
+            [r.key() for r in monitored.requests]
+        for a, b in zip(untraced.requests, monitored.requests):
+            assert a.arrival_s == b.arrival_s
+            assert a.finish_s == b.finish_s
+
+    def test_snapshot_byte_identical_to_untraced(self, monitored):
+        lines = []
+        for r in monitored.requests:
+            lines.append(
+                f"{r.request_id} {r.tier} {r.status} retries={r.retries} "
+                f"arrival={r.arrival_s!r} start={r.start_s!r} "
+                f"finish={r.finish_s!r}"
+            )
+        m = monitored.metrics()
+        lines.append(f"completed={m.n_completed} rejected={m.n_rejected} "
+                     f"timeout={m.n_timeout} failed={m.n_failed} "
+                     f"retries={m.n_retries}")
+        lines.append(f"span={m.span_s!r} npu_busy={m.npu_busy_s!r} "
+                     f"energy={m.total_energy_j!r}")
+        assert "\n".join(lines) == service_golden_snapshot(SEED)
+
+    def test_storm_timeline_deterministic(self):
+        assert fault_storm_monitor(seed=SEED).timeline_json() == \
+            fault_storm_monitor(seed=SEED).timeline_json()
+
+    def test_storm_firing_alerts_cross_link(self):
+        doc = fault_storm_monitor(seed=SEED).timeline()
+        firing = [inc for inc in doc["incidents"]
+                  if inc["firing_s"] is not None]
+        assert firing
+        for incident in firing:
+            assert incident["links"]
+            kinds = {link["kind"] for link in incident["links"]}
+            assert kinds <= {"request", "fault"}
 
 
 class TestLiveRegistryConsistency:
