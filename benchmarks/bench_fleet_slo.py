@@ -14,8 +14,9 @@ from repro.eval import archive, fleet_slo
 
 
 def test_fleet_slo(once):
-    percentiles, compliance, incidents = once(fleet_slo)
+    percentiles, latency, compliance, incidents = once(fleet_slo)
     show_and_archive(percentiles, "fleet_percentiles.txt")
+    show_and_archive(latency, "fleet_latency.txt")
     show_and_archive(compliance, "fleet_compliance.txt")
     # The incident table repeats (slo, rule) labels across devices, so
     # it archives as text only — its counts are asserted below and the
@@ -34,6 +35,18 @@ def test_fleet_slo(once):
     for row in percentiles.rows:
         p50, p90, p95, p99, mx = row[2:]
         assert p50 <= p90 <= p95 <= p99 <= mx
+
+    # per-device latency scoreboard: TTFT percentiles are ordered, ITL
+    # and goodput are positive wherever requests completed, and the
+    # storm-ridden budget device sustains less goodput than the healthy
+    # flagship
+    p50s = latency.column("ttft p50 s")
+    p95s = latency.column("ttft p95 s")
+    goodputs = latency.column("goodput req/s")
+    assert all(p50 <= p95 for p50, p95 in zip(p50s, p95s)
+               if p50 is not None)
+    assert all(g >= 0 for g in goodputs)
+    assert goodputs[2] < goodputs[0]
 
     # the fault-storm fleet blows its availability SLOs and pages
     met = dict(zip(compliance.column("slo"), compliance.column("met")))

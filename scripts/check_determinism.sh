@@ -97,3 +97,79 @@ fi
 python scripts/check_trace_schema.py "$fleet1"
 echo "OK: fleet SLO report is byte-identical across runs" \
      "($(wc -c < "$fleet1") bytes)"
+
+# Step-loop equivalence: the degenerate batching config (unbounded
+# batch, concurrency 1) must route through the per-request path and
+# reproduce the golden snapshot, trace, and profile byte-for-byte —
+# the regression gate for the continuous-batching refactor.
+seq_snapshot() {
+    python -c 'from repro.core import BatchConfig
+from repro.eval import service_golden_snapshot
+print(service_golden_snapshot(
+    seed=42, batching=BatchConfig(max_concurrency=1)))'
+}
+
+seq_trace() {
+    python -c 'from repro.core import BatchConfig
+from repro.eval import service_golden_trace
+print(service_golden_trace(
+    seed=42, batching=BatchConfig(max_concurrency=1)))'
+}
+
+seq_profile() {
+    python -c 'from repro.core import BatchConfig
+from repro.eval import golden_profile_json
+print(golden_profile_json(
+    seed=42, batching=BatchConfig(max_concurrency=1)))'
+}
+
+seq1=$(mktemp)
+seq2=$(mktemp)
+seq3=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$trace1" "$trace2" "$prof1" "$prof2" \
+     "$fleet1" "$fleet2" "$seq1" "$seq2" "$seq3"' EXIT
+
+seq_snapshot > "$seq1"
+if ! diff -u "$out1" "$seq1"; then
+    echo "FAIL: sequential batching config diverges from the" \
+         "per-request golden snapshot" >&2
+    exit 1
+fi
+seq_trace > "$seq2"
+if ! cmp -s "$trace1" "$seq2"; then
+    echo "FAIL: sequential batching config diverges from the" \
+         "per-request golden trace" >&2
+    exit 1
+fi
+seq_profile > "$seq3"
+if ! cmp -s "$prof1" "$seq3"; then
+    echo "FAIL: sequential batching config diverges from the" \
+         "per-request golden profile" >&2
+    exit 1
+fi
+echo "OK: sequential batching config reproduces the per-request" \
+     "golden snapshot, trace, and profile byte-for-byte"
+
+# The step loop proper is deterministic too: the batching snapshot
+# (per-request timings + per-step batch digests + goodput) at two knob
+# settings must be byte-identical across independent processes.
+batching() {
+    python -c "from repro.eval import service_batching_golden_snapshot
+print(service_batching_golden_snapshot(seed=42, prefill_priority=$1))"
+}
+
+for p in 0.0 1.0; do
+    b1=$(mktemp)
+    b2=$(mktemp)
+    batching "$p" > "$b1"
+    batching "$p" > "$b2"
+    if ! cmp -s "$b1" "$b2"; then
+        echo "FAIL: consecutive step-loop runs differ" \
+             "(prefill_priority=$p)" >&2
+        rm -f "$b1" "$b2"
+        exit 1
+    fi
+    echo "OK: step-loop batching snapshot is byte-identical across" \
+         "runs (prefill_priority=$p, $(wc -l < "$b1") lines)"
+    rm -f "$b1" "$b2"
+done

@@ -386,9 +386,16 @@ def check_fleet(path, doc):
     for i, device in enumerate(doc["devices"]):
         where = f"{path}: devices[{i}]"
         for key in ("name", "device", "seed", "n_requests", "n_completed",
-                    "n_incidents", "n_firing"):
+                    "n_incidents", "n_firing", "ttft_p50_s", "ttft_p95_s",
+                    "mean_itl_s", "goodput_rps"):
             if key not in device:
                 fail(f"{where}: missing {key!r}")
+        for key in ("ttft_p50_s", "ttft_p95_s", "mean_itl_s"):
+            value = device[key]
+            if value is not None and not _finite(value):
+                fail(f"{where}: non-finite {key!r}")
+        if not _finite(device["goodput_rps"]) or device["goodput_rps"] < 0:
+            fail(f"{where}: goodput_rps must be finite and non-negative")
     for key in sorted(doc["percentiles"]):
         snap = doc["percentiles"][key]
         where = f"{path}: percentiles[{key!r}]"

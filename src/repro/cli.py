@@ -19,6 +19,7 @@ from repro.eval import (
     ablation_chunk_length,
     calibration_dashboard,
     fleet_slo,
+    service_batching,
     service_breakdown,
     service_fault_recovery,
     service_load,
@@ -88,6 +89,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "service-breakdown": ("per-tier turnaround decomposition "
                           "(queue/retry/prefill/decode)",
                           service_breakdown),
+    "service-batching": ("continuous batching with chunked prefill vs "
+                         "per-request dispatch, sweeping the "
+                         "prefill_priority TTFT/ITL knob",
+                         service_batching),
     "service-profile": ("per-operator/processor attribution + roofline "
                         "+ idle causes + energy over the golden workload",
                         service_profile),
@@ -339,6 +344,7 @@ def cmd_fleet(args) -> int:
     from repro.eval import (
         default_fleet,
         fleet_compliance_table,
+        fleet_latency_table,
         fleet_percentile_table,
         fleet_report,
         incident_table,
@@ -350,6 +356,7 @@ def cmd_fleet(args) -> int:
     )
     validate_timeline_doc(report["alerts"])
     for table in (fleet_percentile_table(report),
+                  fleet_latency_table(report),
                   fleet_compliance_table(report),
                   incident_table(report["alerts"],
                                  title=f"Fleet incident timeline "

@@ -136,6 +136,11 @@ class TierStats:
     p95_turnaround_s: float
     mean_queueing_s: float
     throughput_rps: float
+    #: TTFT/ITL over completed requests (0.0 when no samples — e.g.
+    #: ITL for workloads that decode nothing).
+    p50_ttft_s: float = 0.0
+    p95_ttft_s: float = 0.0
+    mean_itl_s: float = 0.0
 
     @property
     def completion_rate(self) -> float:
@@ -219,6 +224,13 @@ def summarize_service(records, registry=None) -> ServiceMetrics:
                           tier=r.tier).observe(r.turnaround_s)
             reg.histogram("service_queueing_s",
                           tier=r.tier).observe(r.queueing_s)
+            ttft = getattr(r, "ttft_s", None)
+            if ttft is not None:
+                reg.histogram("service_ttft_s",
+                              tier=r.tier).observe(ttft)
+            itl = getattr(r, "itl_s", None)
+            if itl is not None:
+                reg.histogram("service_itl_s", tier=r.tier).observe(itl)
             reg.counter("service_busy_s").inc(r.service_s)
             if r.report is not None:
                 reg.counter("service_npu_busy_s").inc(
@@ -234,6 +246,8 @@ def summarize_service(records, registry=None) -> ServiceMetrics:
         counts = {s: status_count(name, s) for s in SERVICE_STATUSES}
         turnaround = reg.histogram("service_turnaround_s", tier=name)
         queueing = reg.histogram("service_queueing_s", tier=name)
+        ttft = reg.histogram("service_ttft_s", tier=name)
+        itl = reg.histogram("service_itl_s", tier=name)
         n_done = counts["completed"]
         tiers[name] = TierStats(
             tier=name,
@@ -250,6 +264,9 @@ def summarize_service(records, registry=None) -> ServiceMetrics:
                               if turnaround.count else 0.0),
             mean_queueing_s=queueing.mean,
             throughput_rps=(n_done / span if span > 0 else 0.0),
+            p50_ttft_s=ttft.percentile(50) if ttft.count else 0.0,
+            p95_ttft_s=ttft.percentile(95) if ttft.count else 0.0,
+            mean_itl_s=itl.mean if itl.count else 0.0,
         )
 
     npu_busy = reg.value("service_npu_busy_s")
@@ -269,3 +286,36 @@ def summarize_service(records, registry=None) -> ServiceMetrics:
         total_energy_j=reg.value("service_energy_j"),
         tiers=tiers,
     )
+
+
+def goodput_rps(records, ttft_slo_s) -> float:
+    """SLO-met requests per second over one served workload.
+
+    A request counts toward goodput when it completed *and* its TTFT
+    met the SLO bound — ``ttft_slo_s`` is either one bound for every
+    request or a ``{tier_name: bound}`` mapping (tiers absent from the
+    mapping are unbounded).  The denominator is the same
+    earliest-arrival-to-latest-finish span
+    :func:`summarize_service` uses, so goodput and throughput are
+    directly comparable.
+    """
+    from repro.errors import EngineError
+    records = list(records)
+    if not records:
+        raise EngineError("no requests served yet")
+
+    def bound(tier: str) -> float:
+        if isinstance(ttft_slo_s, dict):
+            return float(ttft_slo_s.get(tier, float("inf")))
+        return float(ttft_slo_s)
+
+    span = (max(r.finish_s for r in records)
+            - min(r.arrival_s for r in records))
+    good = 0
+    for r in records:
+        if r.status != "completed":
+            continue
+        ttft = getattr(r, "ttft_s", None)
+        if ttft is not None and ttft <= bound(r.tier):
+            good += 1
+    return good / span if span > 0 else 0.0

@@ -17,7 +17,8 @@ CPU fed (it will unlock future NPU work during the NPU's busy period).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.hw.sim import SchedulingPolicy, SimContext, Task
 
@@ -226,6 +227,272 @@ class RequestQueue:
         """Entries in dispatch order (non-destructive)."""
         return (entry for _, entry in sorted(self._heap,
                                              key=lambda kv: kv[0]))
+
+
+# -- iteration-level batching (continuous batching with chunked prefill) ------
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Knobs of the iteration-level step loop (Orca-style batching).
+
+    ``max_batch_tokens`` caps the tokens one sim-clock step may process
+    (prefill chunk tokens plus one token per decoding request);
+    ``None`` means unbounded.  ``max_concurrency`` caps how many
+    requests hold chunk-continuation state at once (``None`` =
+    unbounded).  ``prefill_priority`` in [0, 1] is the TTFT-vs-ITL
+    policy: the fraction of the post-decode token budget offered to
+    prefill chunks while any request is decoding (1.0 = prefill-first,
+    minimizes TTFT at the cost of stretched decodes; 0.0 =
+    decode-first, minimizes ITL at the cost of delayed first tokens).
+    ``kv_budget_bytes`` bounds the summed KV-cache reservations of
+    in-flight requests (:func:`repro.graph.memory_plan.kv_cache_bytes`
+    accounting); a request only starts when its projected full KV
+    footprint fits.
+
+    ``max_batch_tokens=None`` with ``max_concurrency=1`` is the
+    degenerate configuration: each step runs one whole request, which
+    reproduces the per-request schedule byte-for-byte (the equivalence
+    regression the determinism goldens pin down).
+    """
+
+    max_batch_tokens: Optional[int] = None
+    max_concurrency: Optional[int] = None
+    prefill_priority: float = 0.5
+    kv_budget_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        from repro.errors import SchedulingError
+        if (self.max_batch_tokens is not None
+                and self.max_batch_tokens <= 0):
+            raise SchedulingError("max_batch_tokens must be positive")
+        if self.max_concurrency is not None and self.max_concurrency <= 0:
+            raise SchedulingError("max_concurrency must be positive")
+        if not 0.0 <= self.prefill_priority <= 1.0:
+            raise SchedulingError(
+                f"prefill_priority must be in [0, 1], "
+                f"got {self.prefill_priority!r}"
+            )
+        if self.kv_budget_bytes is not None and self.kv_budget_bytes <= 0:
+            raise SchedulingError("kv_budget_bytes must be positive")
+
+    @property
+    def sequential(self) -> bool:
+        """True when the step loop degenerates to per-request dispatch."""
+        return self.max_batch_tokens is None and self.max_concurrency == 1
+
+
+@dataclass(frozen=True)
+class StepItem:
+    """One unit of work inside a step: a prefill chunk or a decode token.
+
+    ``index`` is the chunk index (prefill) or output-token index
+    (decode).  ``start_s``/``end_s`` are stamped by the service when the
+    item executes; :func:`assemble_step` emits them as 0.
+    """
+
+    request_id: int
+    kind: str  # 'prefill' | 'decode'
+    tokens: int
+    cost_s: float
+    index: int
+    start_s: float = 0.0
+    end_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Audit record of one executed step (the invariant tests read these)."""
+
+    index: int
+    start_s: float
+    end_s: float
+    items: Tuple["StepItem", ...]
+    n_inflight: int
+    kv_reserved_bytes: int
+
+    @property
+    def prefill_tokens(self) -> int:
+        return sum(i.tokens for i in self.items if i.kind == "prefill")
+
+    @property
+    def decode_tokens(self) -> int:
+        return sum(i.tokens for i in self.items if i.kind == "decode")
+
+    @property
+    def batch_tokens(self) -> int:
+        return self.prefill_tokens + self.decode_tokens
+
+
+class ChunkContinuation:
+    """Chunk-continuation state of one in-flight request.
+
+    Carried across steps by the step loop: ``cursor`` is the next
+    prefill chunk to run (``chunk_lens``/``chunk_costs`` are the
+    per-chunk token counts and simulated costs), ``decoded`` counts
+    emitted output tokens, and ``kv_reserved_bytes`` is the request's
+    full projected KV footprint, reserved for its whole residency (the
+    vLLM-style conservative reservation — no mid-flight eviction).
+
+    All fields are per-instance (``__slots__``, no class-level
+    defaults), so two interleaved requests can never share cursor or
+    residency state.
+    """
+
+    __slots__ = (
+        "request_id", "priority", "arrival_s", "dispatch_s", "tier_name",
+        "chunk_lens", "chunk_costs", "chunk_offset", "token_costs",
+        "kv_reserved_bytes", "retries", "retry_held_s",
+        "cursor", "decoded", "prefill_end_s", "first_token_s",
+    )
+
+    def __init__(self, request_id: int, priority: int, arrival_s: float,
+                 dispatch_s: float, tier_name: str,
+                 chunk_lens: List[int], chunk_costs: List[float],
+                 chunk_offset: int, token_costs: List[float],
+                 kv_reserved_bytes: int, retries: int = 0,
+                 retry_held_s: float = 0.0):
+        from repro.errors import SchedulingError
+        if len(chunk_lens) != len(chunk_costs):
+            raise SchedulingError(
+                f"request {request_id}: {len(chunk_lens)} chunk lengths "
+                f"vs {len(chunk_costs)} chunk costs"
+            )
+        self.request_id = request_id
+        self.priority = priority
+        self.arrival_s = arrival_s
+        self.dispatch_s = dispatch_s
+        self.tier_name = tier_name
+        self.chunk_lens = list(chunk_lens)
+        self.chunk_costs = list(chunk_costs)
+        self.chunk_offset = chunk_offset
+        self.token_costs = list(token_costs)
+        self.kv_reserved_bytes = kv_reserved_bytes
+        self.retries = retries
+        self.retry_held_s = retry_held_s
+        self.cursor = 0
+        self.decoded = 0
+        self.prefill_end_s: Optional[float] = None
+        self.first_token_s: Optional[float] = None
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_lens)
+
+    @property
+    def output_tokens(self) -> int:
+        return len(self.token_costs)
+
+    @property
+    def prefill_done(self) -> bool:
+        return self.cursor >= self.n_chunks
+
+    @property
+    def done(self) -> bool:
+        return self.prefill_done and self.decoded >= self.output_tokens
+
+    @property
+    def remaining_cost_s(self) -> float:
+        """Engine time this request still needs (admission projections)."""
+        return (sum(self.chunk_costs[self.cursor:])
+                + sum(self.token_costs[self.decoded:]))
+
+    @property
+    def remaining_prefill_s(self) -> float:
+        """Engine time of the chunks not yet executed."""
+        return sum(self.chunk_costs[self.cursor:])
+
+
+def assemble_step(inflight: List[ChunkContinuation],
+                  max_batch_tokens: Optional[int],
+                  prefill_priority: float,
+                  rotation: int = 0) -> List[StepItem]:
+    """Plan one step's batch from the in-flight continuation states.
+
+    Assembly rules (DESIGN.md §"Step-loop scheduler"):
+
+    1. every decoding request contributes one decode token — unless the
+       decoder count alone exceeds the budget, in which case a
+       round-robin window (``rotation``) picks which decoders advance;
+    2. ``prefill_priority`` times the *full* budget (not the post-decode
+       leftover, so the knob's reach does not shrink as decoders
+       accumulate) is offered to prefill chunks in queue-key order
+       (priority, arrival, id), head-of-line: the first chunk that does
+       not fit stops prefill allocation for the step, so later requests
+       cannot starve earlier ones.  Any nonzero knob setting schedules
+       at least one chunk when one fits the leftover budget — prefill
+       can only fully starve at exactly 0.0, and even then only while a
+       decode population stands (decoders drain without prefill
+       feeding them, so alternation, not starvation).  With no decoders
+       the whole leftover goes to prefill regardless of the knob (the
+       knob trades TTFT against ITL; with nothing decoding there is no
+       trade to make);
+    3. items are ordered prefill-first when ``prefill_priority >= 0.5``
+       (new requests reach their first token sooner), decode-first
+       otherwise (in-flight streams keep their cadence).
+
+    Pure function of its arguments: no clocks, no randomness.
+    """
+    import math as _math
+
+    def order_key(s: ChunkContinuation):
+        return (-s.priority, s.arrival_s, s.request_id)
+
+    decoding = sorted(
+        (s for s in inflight if s.prefill_done and not s.done),
+        key=order_key)
+    prefilling = sorted(
+        (s for s in inflight if not s.prefill_done), key=order_key)
+    budget = (_math.inf if max_batch_tokens is None
+              else float(max_batch_tokens))
+
+    if decoding and len(decoding) > budget:
+        window = int(budget)
+        offset = rotation % len(decoding)
+        decoding = [decoding[(offset + i) % len(decoding)]
+                    for i in range(window)]
+    decode_items = [
+        StepItem(request_id=s.request_id, kind="decode", tokens=1,
+                 cost_s=s.token_costs[s.decoded], index=s.decoded)
+        for s in decoding
+    ]
+
+    avail = budget - len(decode_items)
+    if decode_items and prefill_priority < 1.0:
+        target = (avail if avail == _math.inf
+                  else min(avail, float(_math.floor(
+                      budget * prefill_priority))))
+    else:
+        target = avail
+    prefill_items: List[StepItem] = []
+    remaining = target
+    for s in prefilling:
+        cursor = s.cursor
+        blocked = False
+        while cursor < s.n_chunks:
+            tokens = s.chunk_lens[cursor]
+            if tokens > remaining:
+                # progress guarantee: any nonzero knob setting admits
+                # at least one chunk per step (within the hard budget),
+                # so a standing decode population cannot starve prefill
+                if (prefill_priority > 0.0 and not prefill_items
+                        and tokens <= avail):
+                    pass
+                else:
+                    blocked = True
+                    break
+            prefill_items.append(StepItem(
+                request_id=s.request_id, kind="prefill", tokens=tokens,
+                cost_s=s.chunk_costs[cursor], index=cursor,
+            ))
+            remaining -= tokens
+            cursor += 1
+        if blocked:
+            break
+
+    if prefill_priority >= 0.5:
+        return prefill_items + decode_items
+    return decode_items + prefill_items
 
 
 def get_policy(name: str) -> SchedulingPolicy:

@@ -46,7 +46,7 @@ Two serving paths coexist:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -57,12 +57,21 @@ from repro.core.results import (
     ServiceMetrics,
     summarize_service,
 )
-from repro.core.scheduler import RequestQueue
+from repro.core.scheduler import (
+    BatchConfig,
+    ChunkContinuation,
+    RequestQueue,
+    StepItem,
+    StepRecord,
+    assemble_step,
+)
 from repro.errors import (
     EngineError,
     PermanentEngineError,
     TransientEngineError,
 )
+from repro.graph.chunk import chunk_token_lengths
+from repro.graph.memory_plan import kv_cache_bytes
 from repro.hw.sim import FaultInjector, FaultSpec
 from repro.hw.soc import SocSpec, get_device
 from repro.model.config import ModelConfig, get_model_config
@@ -79,6 +88,57 @@ FAULT_ATTEMPT_FRACTION = 0.25
 def request_track(request_id: int) -> str:
     """Trace-track (thread) name of one request's lifecycle spans."""
     return f"req {request_id:05d}"
+
+
+def _prefill_chunk_costs(prefill, n_chunks: int) -> List[float]:
+    """Per-chunk sim-clock costs of one estimated prefill.
+
+    Derived from the chunk-finish times of the simulated subgraph
+    schedule (chunk ``c``'s cost is the schedule time between the
+    previous chunk's completion and its own, in completion order; the
+    first chunk absorbs any serial graph-preparation offset), so the
+    costs sum to ``prefill.latency_s`` exactly and the step loop's
+    telescoped chunk spans reproduce the whole-request latency.  Falls
+    back to a uniform split when the report carries no trace.
+    """
+    if n_chunks <= 0:
+        raise EngineError(f"n_chunks must be positive, got {n_chunks}")
+    latency = prefill.latency_s
+    trace = prefill.trace
+    if trace is not None:
+        chunk_finish: Dict[int, float] = {}
+        for event in trace.events:
+            head = event.task_id.split(".", 1)[0]
+            if not head.startswith("c"):
+                continue
+            try:
+                chunk = int(head[1:])
+            except ValueError:
+                continue
+            chunk_finish[chunk] = max(chunk_finish.get(chunk, 0.0),
+                                      event.end_s)
+        if len(chunk_finish) == n_chunks:
+            costs: List[float] = []
+            prev = 0.0
+            for chunk in sorted(chunk_finish,
+                                key=lambda c: (chunk_finish[c], c)):
+                costs.append(chunk_finish[chunk] - prev)
+                prev = chunk_finish[chunk]
+            costs[0] += latency - prev
+            return costs
+    per = latency / n_chunks
+    return [per] * (n_chunks - 1) + [latency - per * (n_chunks - 1)]
+
+
+def _decode_token_costs(decode_latency_s: float,
+                        output_tokens: int) -> List[float]:
+    """Per-token decode costs (last token absorbs rounding so the list
+    sums to ``decode_latency_s`` exactly)."""
+    if output_tokens <= 0:
+        return []
+    per = decode_latency_s / output_tokens
+    return ([per] * (output_tokens - 1)
+            + [decode_latency_s - per * (output_tokens - 1)])
 
 
 @dataclass(frozen=True)
@@ -163,6 +223,14 @@ class ServedRequest:
     completed requests carry a report.  ``service_s`` includes the time
     consumed by failed attempts and retry backoff — the engine was held
     for that span on this request's behalf.
+
+    ``batched`` marks records produced by the step loop;
+    ``prefill_end_s`` / ``first_token_s`` are the measured stage
+    boundaries (the first token is emitted when the last prefill chunk
+    completes), and ``retry_held_s`` is the engine time consumed by
+    failed attempts plus backoff before the successful one.  The legacy
+    per-request path fills the same fields from its serial timeline, so
+    TTFT/ITL read identically across both paths.
     """
 
     request_id: int
@@ -174,6 +242,10 @@ class ServedRequest:
     tier: str = INTERACTIVE_TIER.name
     status: str = "completed"
     retries: int = 0
+    batched: bool = False
+    prefill_end_s: Optional[float] = None
+    first_token_s: Optional[float] = None
+    retry_held_s: float = 0.0
 
     @property
     def queueing_s(self) -> float:
@@ -186,6 +258,26 @@ class ServedRequest:
     @property
     def turnaround_s(self) -> float:
         return self.finish_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Arrival to first token (None unless the request completed)."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def itl_s(self) -> Optional[float]:
+        """Mean inter-token latency over the decode stream.
+
+        None when the request did not complete or decoded nothing —
+        such requests contribute no ITL samples.
+        """
+        if (self.first_token_s is None or self.report is None
+                or self.report.output_tokens <= 0):
+            return None
+        return ((self.finish_s - self.first_token_s)
+                / self.report.output_tokens)
 
     def key(self) -> Tuple:
         """Canonical value tuple (determinism checks compare these)."""
@@ -269,15 +361,20 @@ class LlmService:
                  fault_spec: Optional[FaultSpec] = None,
                  tiers: Optional[Dict[str, TierPolicy]] = None,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 batching: Optional[BatchConfig] = None):
         if scheduler not in ("priority", "fifo"):
             raise EngineError(
                 f"unknown scheduler {scheduler!r}; use 'priority' or 'fifo'"
             )
+        if batching is not None and not isinstance(batching, BatchConfig):
+            raise EngineError("batching must be a BatchConfig or None")
         self.device = get_device(device) if isinstance(device, str) else device
         self.config = config if config is not None else EngineConfig()
         self.scheduler = scheduler
         self.admission = admission
+        self.batching = batching
+        self._steps: List[StepRecord] = []
         self.tiers = dict(DEFAULT_TIERS if tiers is None else tiers)
         self.tracer = as_tracer(tracer)
         self.metrics_registry = as_registry(metrics)
@@ -406,6 +503,7 @@ class LlmService:
                     tier=req.tier.name)
         now = dispatch_s
         attempts = 0
+        prefill_end = first_token = None
         while True:
             attempts += 1
             kind = None
@@ -418,6 +516,8 @@ class LlmService:
             if kind is None:
                 finish, status, report = now + est.e2e_latency_s, \
                     "completed", est
+                prefill_end = now + est.prefill.latency_s
+                first_token = prefill_end
                 if tr.enabled:
                     self._trace_success(track, req, est, now)
                 break
@@ -453,6 +553,10 @@ class LlmService:
             tier=req.tier.name,
             status=status,
             retries=attempts - 1,
+            prefill_end_s=prefill_end,
+            first_token_s=first_token,
+            retry_held_s=(now - dispatch_s if status == "completed"
+                          else finish - dispatch_s),
         )
 
     def _trace_success(self, track: str, req: ServiceRequest,
@@ -541,6 +645,12 @@ class LlmService:
                           tier=record.tier).observe(record.turnaround_s)
             reg.histogram("service_queueing_s",
                           tier=record.tier).observe(record.queueing_s)
+            if record.ttft_s is not None:
+                reg.histogram("service_ttft_s",
+                              tier=record.tier).observe(record.ttft_s)
+            if record.itl_s is not None:
+                reg.histogram("service_itl_s",
+                              tier=record.tier).observe(record.itl_s)
         for observer in self._observers:
             observer(record)
 
@@ -662,12 +772,18 @@ class LlmService:
         )
 
     def _admit(self, queue: RequestQueue, req: ServiceRequest,
-               free_s: float, records: List[ServedRequest]) -> None:
+               free_s: float, records: List[ServedRequest],
+               prefill_only: bool = False) -> None:
         """Process one arrival: cancel, reject, or push onto the queue.
 
         The projected queueing delay is the engine's remaining busy time
         plus the estimated service of every queued request that would be
         dispatched before this one (higher key in the queue's order).
+        With ``prefill_only`` (the step loop's projection) the
+        queued-ahead cost counts only estimated prefill time: under
+        iteration-level scheduling a request's first token waits for the
+        prefill work ahead of it, not for other requests' decode tails —
+        those interleave.
         """
         if req.request_id in self._cancelled:
             records.append(self._shed(req, req.arrival_s, "cancelled"))
@@ -677,7 +793,9 @@ class LlmService:
             wait = max(0.0, free_s - req.arrival_s)
             for queued in queue:
                 if queue.precedes(queued, req):
-                    wait += self._estimate(engine, queued).e2e_latency_s
+                    est = self._estimate(engine, queued)
+                    wait += (est.prefill.latency_s if prefill_only
+                             else est.e2e_latency_s)
             if wait > req.tier.slo_queueing_s:
                 self.metrics_registry.counter(
                     "service_admission_total", decision="rejected").inc()
@@ -711,7 +829,16 @@ class LlmService:
         free instant and dispatching the best queued request.  The
         result (and every admission decision) is a pure function of the
         enqueued requests, the scheduler mode, and the fault spec.
+
+        With a :class:`~repro.core.scheduler.BatchConfig` attached the
+        loop runs at iteration granularity instead
+        (:meth:`_run_step_loop`) — unless the config is the
+        ``sequential`` degenerate case (unbounded batch, concurrency 1),
+        which is byte-identical to the per-request loop and served by
+        it.
         """
+        if self.batching is not None and not self.batching.sequential:
+            return self._run_step_loop()
         new_records: List[ServedRequest] = []
         for model_name in sorted(self._pending):
             reqs = sorted(self._pending[model_name],
@@ -744,6 +871,296 @@ class LlmService:
                 free_s = max(free_s, record.finish_s)
                 new_records.append(record)
             self._clocks[model_name] = free_s
+        self._pending.clear()
+        new_records.sort(key=lambda r: r.request_id)
+        self._requests.extend(new_records)
+        for record in new_records:
+            self._observe(record)
+        return new_records
+
+    # -- iteration-level serving (step loop) ----------------------------------
+
+    @property
+    def steps(self) -> List[StepRecord]:
+        """Audit log of every step the batched loop has executed."""
+        return list(self._steps)
+
+    def _start_batched(
+            self, engine: LlmNpuEngine, req: ServiceRequest,
+            dispatch_s: float,
+    ) -> Tuple[Optional[ChunkContinuation], Optional[ServedRequest], float]:
+        """Dispatch one request into the batch: fault prelude + state.
+
+        Mirrors :meth:`_execute`'s retry arithmetic exactly (same fault
+        draws, same attempt/backoff costs) but stops at the point the
+        successful attempt would begin, returning the request's
+        :class:`ChunkContinuation` instead of running it to completion.
+        Returns ``(state, record, now)``: ``record`` is set (and
+        ``state`` is None) when the prelude itself failed or timed out —
+        the engine was held until ``now`` either way.
+        """
+        est = self._estimate(engine, req)
+        tr = self.tracer
+        track = request_track(req.request_id)
+        if tr.enabled and dispatch_s > req.arrival_s:
+            tr.span("queued", proc="service", thread=track,
+                    start_s=req.arrival_s, end_s=dispatch_s, cat="queue",
+                    tier=req.tier.name)
+        now = dispatch_s
+        attempts = 0
+        status = None
+        while True:
+            attempts += 1
+            kind = None
+            try:
+                engine.check_fault(now_s=now)
+            except TransientEngineError:
+                kind = "transient"
+            except PermanentEngineError:
+                kind = "permanent"
+            if kind is None:
+                break
+            self.metrics_registry.counter("service_faults_total",
+                                          kind=kind).inc()
+            if tr.enabled:
+                tr.span(f"attempt {attempts}", proc="service",
+                        thread=track, start_s=now,
+                        end_s=now + FAULT_ATTEMPT_FRACTION
+                        * est.e2e_latency_s,
+                        cat="retry", fault=kind, attempt=attempts)
+            now += FAULT_ATTEMPT_FRACTION * est.e2e_latency_s
+            if kind == "permanent" or attempts > req.tier.max_retries:
+                status = "failed"
+                break
+            if tr.enabled:
+                tr.span("backoff", proc="service", thread=track,
+                        start_s=now,
+                        end_s=now + req.tier.retry_backoff_s
+                        * (2 ** (attempts - 1)),
+                        cat="retry", attempt=attempts)
+            now += req.tier.retry_backoff_s * (2 ** (attempts - 1))
+            if now > req.deadline_s:
+                status = "timeout"
+                break
+        if status is not None:
+            record = ServedRequest(
+                request_id=req.request_id, model=req.model,
+                arrival_s=req.arrival_s, start_s=dispatch_s,
+                finish_s=now, report=None, tier=req.tier.name,
+                status=status, retries=attempts - 1, batched=True,
+                retry_held_s=now - dispatch_s,
+            )
+            return None, record, now
+
+        cfg = engine.config
+        if cfg.chunking:
+            chunk_lens = chunk_token_lengths(req.prompt_tokens,
+                                             cfg.chunk_len,
+                                             req.cached_tokens)
+            chunk_offset = req.cached_tokens // cfg.chunk_len
+        else:
+            chunk_lens = [req.prompt_tokens]
+            chunk_offset = 0
+        if len(chunk_lens) != est.prefill.n_chunks:
+            # engine chunked differently (defensive; should not happen
+            # with the chunk-sharing engine) — split uniformly so token
+            # conservation still holds
+            n = max(1, est.prefill.n_chunks)
+            base = req.prompt_tokens // n
+            chunk_lens = [base] * (n - 1) + [req.prompt_tokens
+                                             - base * (n - 1)]
+            chunk_offset = 0
+        budget = self.batching.max_batch_tokens
+        if budget is not None and max(chunk_lens) > budget:
+            raise EngineError(
+                f"max_batch_tokens={budget} is smaller than a prefill "
+                f"chunk of {max(chunk_lens)} tokens "
+                f"(chunk_len={cfg.chunk_len}); the step loop cannot "
+                f"make progress"
+            )
+        state = ChunkContinuation(
+            request_id=req.request_id,
+            priority=req.priority,
+            arrival_s=req.arrival_s,
+            dispatch_s=dispatch_s,
+            tier_name=req.tier.name,
+            chunk_lens=chunk_lens,
+            chunk_costs=_prefill_chunk_costs(est.prefill, len(chunk_lens)),
+            chunk_offset=chunk_offset,
+            token_costs=_decode_token_costs(est.decode_latency_s,
+                                            req.output_tokens),
+            kv_reserved_bytes=kv_cache_bytes(
+                engine.model,
+                req.cached_tokens + req.prompt_tokens + req.output_tokens),
+            retries=attempts - 1,
+            retry_held_s=now - dispatch_s,
+        )
+        return state, None, now
+
+    def _finalize_batched(self, engine: LlmNpuEngine, model_name: str,
+                          state: ChunkContinuation, req: ServiceRequest,
+                          finish_s: float) -> ServedRequest:
+        """The completed record of one batched request."""
+        est = self._estimate(engine, req)
+        return ServedRequest(
+            request_id=req.request_id, model=model_name,
+            arrival_s=req.arrival_s, start_s=state.dispatch_s,
+            finish_s=finish_s, report=est, tier=state.tier_name,
+            status="completed", retries=state.retries, batched=True,
+            prefill_end_s=state.prefill_end_s,
+            first_token_s=state.first_token_s,
+            retry_held_s=state.retry_held_s,
+        )
+
+    def _run_step_loop(self) -> List[ServedRequest]:
+        """Iteration-level event loop: continuous batching with chunked
+        prefill.
+
+        Per engine timeline, each iteration of the outer loop is one
+        sim-clock *step*: admit the arrivals up to ``now``, start queued
+        requests into the batch (bounded by ``max_concurrency`` and the
+        KV budget, head-of-line), then execute the step batch
+        :func:`~repro.core.scheduler.assemble_step` plans — prefill
+        chunks of starting requests interleaved with one decode token
+        per in-flight decoder, under ``max_batch_tokens``.  The engine
+        is serial (mobile NPUs don't co-run graphs), so a step's items
+        execute back-to-back; batching wins by *reordering* work across
+        requests, not by overlapping it.
+
+        Chunk-continuation state (cursor, decode progress, KV
+        reservation) lives in per-request
+        :class:`~repro.core.scheduler.ChunkContinuation` objects carried
+        across steps; every executed step is appended to :attr:`steps`.
+        """
+        bcfg = self.batching
+        tr = self.tracer
+        new_records: List[ServedRequest] = []
+        for model_name in sorted(self._pending):
+            reqs = sorted(self._pending[model_name],
+                          key=lambda r: (r.arrival_s, r.request_id))
+            engine = self._engines[model_name]
+            now = self._clocks[model_name]
+            queue = RequestQueue(self.scheduler, tracer=self.tracer)
+            inflight: List[ChunkContinuation] = []
+            open_reqs: Dict[int, ServiceRequest] = {}
+            idx = 0
+            rotation = 0
+            while idx < len(reqs) or queue or inflight:
+                # Admission keeps the serial-equivalent projection:
+                # batching reorders execution on a time-shared engine but
+                # does not create capacity, so an arrival's wait is still
+                # bounded below by the remaining work (prefill + decode)
+                # of everything that precedes it in queue-key order.
+                # Priority-awareness is the batched refinement — work the
+                # arrival would preempt at the next chunk boundary does
+                # not count against it, which is what lets interactive
+                # requests through during a background burst.
+                while idx < len(reqs) and reqs[idx].arrival_s <= now:
+                    arrival = reqs[idx]
+                    backlog_s = now + sum(
+                        s.remaining_cost_s for s in inflight
+                        if queue.key(s) < queue.key(arrival))
+                    self._admit(queue, arrival, backlog_s, new_records)
+                    idx += 1
+                if not inflight and not queue:
+                    if idx < len(reqs):
+                        # engine idles until the next arrival
+                        now = max(now, reqs[idx].arrival_s)
+                        continue
+                    break
+                # start queued requests into the batch
+                while queue and (bcfg.max_concurrency is None
+                                 or len(inflight) < bcfg.max_concurrency):
+                    head = queue.peek()
+                    if (bcfg.kv_budget_bytes is not None and inflight
+                            and head.request_id not in self._cancelled):
+                        projected = kv_cache_bytes(
+                            engine.model,
+                            head.cached_tokens + head.prompt_tokens
+                            + head.output_tokens)
+                        reserved = sum(s.kv_reserved_bytes
+                                       for s in inflight)
+                        if reserved + projected > bcfg.kv_budget_bytes:
+                            break  # head-of-line: wait for KV to free
+                    req = queue.pop(now_s=now)
+                    if req.request_id in self._cancelled:
+                        new_records.append(
+                            self._shed(req, req.arrival_s, "cancelled"))
+                        continue
+                    if now > req.deadline_s:
+                        new_records.append(
+                            self._shed(req, req.deadline_s, "timeout"))
+                        continue
+                    state, dead, now = self._start_batched(engine, req,
+                                                           now)
+                    if dead is not None:
+                        new_records.append(dead)
+                        continue
+                    inflight.append(state)
+                    open_reqs[req.request_id] = req
+                if not inflight:
+                    continue
+                items = assemble_step(inflight, bcfg.max_batch_tokens,
+                                      bcfg.prefill_priority,
+                                      rotation=rotation)
+                rotation += 1
+                if not items:
+                    raise EngineError(
+                        "step loop stalled: in-flight requests but an "
+                        "empty step batch"
+                    )
+                step_index = len(self._steps)
+                step_start = now
+                n_inflight = len(inflight)
+                kv_reserved = sum(s.kv_reserved_bytes for s in inflight)
+                by_id = {s.request_id: s for s in inflight}
+                executed: List[StepItem] = []
+                finished_at: Dict[int, float] = {}
+                for item in items:
+                    state = by_id[item.request_id]
+                    start = now
+                    now += item.cost_s
+                    if item.kind == "prefill":
+                        state.cursor += 1
+                        if tr.enabled:
+                            chunk = state.chunk_offset + item.index
+                            tr.span(
+                                f"chunk {chunk}", proc="service",
+                                thread=request_track(item.request_id),
+                                start_s=start, end_s=now, cat="prefill",
+                                chunk=chunk, tokens=item.tokens,
+                                step=step_index,
+                            )
+                        if state.prefill_done:
+                            state.prefill_end_s = now
+                            state.first_token_s = now
+                    else:
+                        state.decoded += 1
+                        if tr.enabled:
+                            tr.span(
+                                f"token {item.index}", proc="service",
+                                thread=request_track(item.request_id),
+                                start_s=start, end_s=now, cat="decode",
+                                step=step_index,
+                            )
+                    executed.append(replace(item, start_s=start,
+                                            end_s=now))
+                    if state.done:
+                        finished_at[state.request_id] = now
+                self._steps.append(StepRecord(
+                    index=step_index, start_s=step_start, end_s=now,
+                    items=tuple(executed), n_inflight=n_inflight,
+                    kv_reserved_bytes=kv_reserved,
+                ))
+                if finished_at:
+                    inflight = [s for s in inflight
+                                if s.request_id not in finished_at]
+                    for rid in sorted(finished_at):
+                        state = by_id[rid]
+                        new_records.append(self._finalize_batched(
+                            engine, model_name, state,
+                            open_reqs.pop(rid), finished_at[rid]))
+            self._clocks[model_name] = now
         self._pending.clear()
         new_records.sort(key=lambda r: r.request_id)
         self._requests.extend(new_records)

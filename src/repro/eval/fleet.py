@@ -29,8 +29,15 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from repro.core import goodput_rps
 from repro.eval.report import Table
-from repro.eval.service_eval import two_tier_arrivals, _run_two_tier
+from repro.eval.service_eval import (
+    BATCHING_TTFT_SLO,
+    two_tier_arrivals,
+    _run_two_tier,
+)
 from repro.hw.memory import GiB
 from repro.hw.sim import FaultSpec
 from repro.hw.soc import REDMI_K60_PRO, SocSpec
@@ -247,6 +254,11 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
         timeline_incidents = [
             inc for inc in alerts["incidents"] if inc["source"] == spec.name
         ]
+        ttfts = sorted(r.ttft_s for r in service.requests
+                       if r.status == "completed"
+                       and r.ttft_s is not None)
+        itls = [r.itl_s for r in service.requests
+                if r.status == "completed" and r.itl_s is not None]
         devices.append({
             "name": spec.name,
             "device": spec.device_name,
@@ -262,6 +274,13 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
             "n_incidents": len(timeline_incidents),
             "n_firing": sum(1 for inc in timeline_incidents
                             if inc["firing_s"] is not None),
+            "ttft_p50_s": (float(np.percentile(ttfts, 50))
+                           if ttfts else None),
+            "ttft_p95_s": (float(np.percentile(ttfts, 95))
+                           if ttfts else None),
+            "mean_itl_s": (float(np.mean(itls)) if itls else None),
+            "goodput_rps": float(goodput_rps(service.requests,
+                                             BATCHING_TTFT_SLO)),
         })
     return {
         "schema": FLEET_SCHEMA,
@@ -331,6 +350,32 @@ def fleet_percentile_table(report: dict) -> Table:
     return table
 
 
+def fleet_latency_table(report: dict) -> Table:
+    """Per-device user-visible latency scoreboard: TTFT percentiles,
+    mean inter-token latency, and goodput (completed requests that met
+    their tier's TTFT bound, per second of span)."""
+    table = Table(
+        title=f"Fleet TTFT/ITL/goodput — {report['n_devices']} devices "
+              f"(seed={report['seed']})",
+        columns=["device", "completed", "ttft p50 s", "ttft p95 s",
+                 "mean itl s", "goodput req/s"],
+    )
+    for device in report["devices"]:
+        table.add_row(
+            f"{device['name']} ({device['device']})",
+            device["n_completed"],
+            device["ttft_p50_s"],
+            device["ttft_p95_s"],
+            device["mean_itl_s"],
+            device["goodput_rps"],
+        )
+    table.add_note("TTFT is arrival to first token; goodput counts "
+                   "completed requests whose TTFT met the tier bound "
+                   "(interactive 4 s, background 30 s) — the same SLOs "
+                   "the batching experiment gates on")
+    return table
+
+
 def fleet_compliance_table(report: dict) -> Table:
     """Fleet-wide SLO scoreboard + per-device incident counts."""
     table = Table(
@@ -379,10 +424,12 @@ def incident_table(alerts: dict, title: str = "Incident timeline") -> Table:
 
 
 def fleet_slo(n_devices: int = 3, seed: int = 42):
-    """Experiment driver: fleet percentiles + compliance + incidents."""
+    """Experiment driver: fleet percentiles + per-device latency
+    (TTFT/ITL/goodput) + compliance + incidents."""
     report = fleet_report(specs=default_fleet(n_devices, seed=seed),
                           seed=seed)
     return (fleet_percentile_table(report),
+            fleet_latency_table(report),
             fleet_compliance_table(report),
             incident_table(report["alerts"],
                            title=f"Fleet incident timeline "

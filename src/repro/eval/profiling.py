@@ -17,7 +17,7 @@ from repro.eval.report import Table
 from repro.eval.service_eval import service_golden_records
 
 
-def service_profile_report(seed: int = 42):
+def service_profile_report(seed: int = 42, batching=None):
     """The merged :class:`~repro.obs.profile.ProfileReport` of the golden
     service workload, with the service's metrics snapshot attached.
 
@@ -35,7 +35,8 @@ def service_profile_report(seed: int = 42):
         profile_inference,
     )
     metrics = MetricsRegistry()
-    service = service_golden_records(seed=seed, metrics=metrics)
+    service = service_golden_records(seed=seed, metrics=metrics,
+                                     batching=batching)
     device = service.device
     cfg = service.config
     profiles = []
@@ -115,13 +116,14 @@ def service_profile(seed: int = 42,
     return tables
 
 
-def golden_profile_json(seed: int = 42) -> str:
+def golden_profile_json(seed: int = 42, batching=None) -> str:
     """Canonical profile-report JSON of the golden scenario (one string).
 
     A pure function of ``seed`` — no timestamps, no environment — so
     ``scripts/check_determinism.sh`` byte-diffs two independent
-    evaluations, and the traced-smoke CI job schema-checks the same
-    bytes.
+    evaluations (including the sequential batching config against the
+    per-request baseline), and the traced-smoke CI job schema-checks
+    the same bytes.
     """
-    report, _service = service_profile_report(seed=seed)
+    report, _service = service_profile_report(seed=seed, batching=batching)
     return report.to_json()

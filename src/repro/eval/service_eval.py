@@ -12,7 +12,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core import EngineConfig, LlmService, TierPolicy
+from repro.core import (
+    BatchConfig,
+    EngineConfig,
+    LlmService,
+    TierPolicy,
+    goodput_rps,
+)
 from repro.eval.report import Table
 from repro.hw.sim import FaultSpec
 from repro.workloads.datasets import (
@@ -134,18 +140,20 @@ def two_tier_arrivals(
     interactive_gap_s: Tuple[float, float] = (0.8, 1.6),
     background_gap_s: float = 0.6,
     background_start_s: float = 0.5,
+    background_workload: str = "email_reply",
 ) -> List[Tuple[str, WorkloadSample, float]]:
     """A seeded two-tier overload stream: ``(tier, sample, arrival_s)``.
 
     Interactive requests are short UI-automation prompts arriving at a
-    jittered ~1.2 s cadence; background requests are long email-reply
-    prompts arriving in an early burst — together they oversubscribe the
-    engine, which is the regime where scheduling policy matters.
+    jittered ~1.2 s cadence; background requests are long
+    ``background_workload`` prompts (email replies by default) arriving
+    in an early burst — together they oversubscribe the engine, which
+    is the regime where scheduling policy matters.
     """
     rng = np.random.default_rng(seed)
     interactive = sample_workload(WORKLOADS["ui_automation"],
                                   n_interactive, seed=seed + 1)
-    background = sample_workload(WORKLOADS["email_reply"],
+    background = sample_workload(WORKLOADS[background_workload],
                                  n_background, seed=seed + 2)
     stream: List[Tuple[str, WorkloadSample, float]] = []
     t = 0.0
@@ -169,11 +177,12 @@ def _run_two_tier(
     tracer=None,
     metrics=None,
     monitor=None,
+    batching: Optional[BatchConfig] = None,
 ) -> LlmService:
     service = LlmService(device, EngineConfig(), scheduler=scheduler,
                          admission=admission, fault_spec=fault_spec,
                          tiers=EXPERIMENT_TIERS, tracer=tracer,
-                         metrics=metrics)
+                         metrics=metrics, batching=batching)
     if monitor is not None:
         monitor.attach(service)
     for tier, sample, arrival in stream:
@@ -268,7 +277,8 @@ def service_fault_recovery(
 
 
 def service_golden_records(seed: int = 42, tracer=None, metrics=None,
-                           monitor=None):
+                           monitor=None,
+                           batching: Optional[BatchConfig] = None):
     """The golden regression scenario: two-tier overload with faults.
 
     Returns the served :class:`~repro.core.ServedRequest` records of the
@@ -278,13 +288,18 @@ def service_golden_records(seed: int = 42, tracer=None, metrics=None,
     scheduler changes.  Pass a :class:`~repro.obs.Tracer` /
     :class:`~repro.obs.MetricsRegistry` / :class:`~repro.obs.SloMonitor`
     to observe the run; the records are identical either way (the no-op
-    guarantee the regression tests pin down).
+    guarantee the regression tests pin down).  ``batching`` attaches a
+    :class:`~repro.core.BatchConfig`; passing the *sequential* config
+    (unbounded batch, concurrency 1) must leave every golden byte
+    unchanged — the equivalence regression
+    ``scripts/check_determinism.sh`` enforces.
     """
     stream = two_tier_arrivals(seed=seed)
     service = _run_two_tier(
         "priority", True, "Qwen1.5-1.8B", "Redmi K70 Pro", stream,
         fault_spec=FaultSpec(transient_rate=0.1, seed=7),
         tracer=tracer, metrics=metrics, monitor=monitor,
+        batching=batching,
     )
     return service
 
@@ -319,14 +334,16 @@ def service_breakdown(seed: int = 42, trace_out: Optional[str] = None,
     )
 
 
-def service_golden_trace(seed: int = 42) -> str:
+def service_golden_trace(seed: int = 42,
+                         batching: Optional[BatchConfig] = None) -> str:
     """Canonical unified-trace JSON of the golden scenario (one string).
 
     Runs :func:`service_golden_records` with a tracer attached and
     serializes the merged service+hardware timeline exactly as
     :func:`repro.obs.export_service_trace` writes it.  Byte-identical
     across processes for equal seeds; ``scripts/check_determinism.sh``
-    diffs two independent evaluations.
+    diffs two independent evaluations (and the sequential batching
+    config against the per-request baseline).
     """
     import json
 
@@ -336,19 +353,21 @@ def service_golden_trace(seed: int = 42) -> str:
         to_chrome_trace,
         validate_timeline,
     )
-    service = service_golden_records(seed=seed, tracer=Tracer())
+    service = service_golden_records(seed=seed, tracer=Tracer(),
+                                     batching=batching)
     events = to_chrome_trace(service_timeline(service))
     validate_timeline(events)
     return json.dumps(events, sort_keys=True)
 
 
-def service_golden_snapshot(seed: int = 42) -> str:
+def service_golden_snapshot(seed: int = 42,
+                            batching: Optional[BatchConfig] = None) -> str:
     """Canonical full-precision text dump of the golden scenario.
 
     ``scripts/check_determinism.sh`` runs this twice and diffs the
     output byte-for-byte.
     """
-    service = service_golden_records(seed=seed)
+    service = service_golden_records(seed=seed, batching=batching)
     lines = []
     for r in service.requests:
         lines.append(
@@ -363,3 +382,157 @@ def service_golden_snapshot(seed: int = 42) -> str:
     lines.append(f"span={m.span_s!r} npu_busy={m.npu_busy_s!r} "
                  f"energy={m.total_energy_j!r}")
     return "\n".join(lines)
+
+
+# -- continuous batching (step-loop scheduler) --------------------------------
+
+#: Step-loop configuration the batching experiment sweeps: budget of
+#: four 256-token chunks per step (so ``prefill_priority`` interpolates
+#: 0-3 chunks alongside the standing decode population), eight requests
+#: resident at once — continuous batching bounds residency by budget
+#: and KV, not a per-request slot count.
+BATCHING_BATCH_TOKENS = 1024
+BATCHING_CONCURRENCY = 8
+
+#: The batching experiment's background tier: decode-heavy chat
+#: summaries (35-57 output tokens, ~5 s of decode at on-device rates).
+#: Per-request dispatch head-of-line-blocks interactive arrivals behind
+#: those decode tails; chunk-granularity interleaving does not — the
+#: regime iteration-level scheduling exists for.
+BATCHING_BACKGROUND_WORKLOAD = "chat_summary"
+
+#: TTFT SLO bounds (arrival to first token) used for the goodput
+#: columns — aligned with the tiers' admission expectations.
+BATCHING_TTFT_SLO: Dict[str, float] = {
+    "interactive": 4.0,
+    "background": 30.0,
+}
+
+
+def batching_arrivals(seed: int = 42) -> List[Tuple[str, WorkloadSample,
+                                                    float]]:
+    """The batching experiment's stream: the golden two-tier generator
+    with the background tier drawing decode-heavy chat summaries."""
+    return two_tier_arrivals(
+        seed=seed, background_workload=BATCHING_BACKGROUND_WORKLOAD)
+
+
+def batched_golden_service(seed: int = 42,
+                           prefill_priority: float = 0.5,
+                           max_batch_tokens: int = BATCHING_BATCH_TOKENS,
+                           max_concurrency: int = BATCHING_CONCURRENCY,
+                           tracer=None) -> LlmService:
+    """The golden two-tier scenario served by the step loop.
+
+    Same tiers, fault seed and admission as
+    :func:`service_golden_records`, on the decode-heavy
+    :func:`batching_arrivals` stream; dispatch granularity and the
+    background workload are what change.  Deterministic in all
+    arguments — the ``batching-smoke`` CI job byte-diffs
+    :func:`service_batching_golden_snapshot` built on this.
+    """
+    stream = batching_arrivals(seed=seed)
+    return _run_two_tier(
+        "priority", True, "Qwen1.5-1.8B", "Redmi K70 Pro", stream,
+        fault_spec=FaultSpec(transient_rate=0.1, seed=7),
+        tracer=tracer,
+        batching=BatchConfig(max_batch_tokens=max_batch_tokens,
+                             max_concurrency=max_concurrency,
+                             prefill_priority=prefill_priority),
+    )
+
+
+def service_batching_golden_snapshot(seed: int = 42,
+                                     prefill_priority: float = 0.5) -> str:
+    """Full-precision text dump of one step-loop run (CI byte-diffs it).
+
+    Covers the per-request timings *and* a digest of every executed
+    step (item counts, token counts, KV reservation), so any
+    nondeterminism in batch assembly — not just in the final records —
+    trips the diff.
+    """
+    service = batched_golden_service(seed=seed,
+                                     prefill_priority=prefill_priority)
+    lines = []
+    for r in service.requests:
+        lines.append(
+            f"{r.request_id} {r.tier} {r.status} retries={r.retries} "
+            f"arrival={r.arrival_s!r} start={r.start_s!r} "
+            f"finish={r.finish_s!r} ttft={r.ttft_s!r} itl={r.itl_s!r}"
+        )
+    for s in service.steps:
+        lines.append(
+            f"step {s.index} start={s.start_s!r} end={s.end_s!r} "
+            f"items={len(s.items)} prefill={s.prefill_tokens} "
+            f"decode={s.decode_tokens} inflight={s.n_inflight} "
+            f"kv={s.kv_reserved_bytes}"
+        )
+    recs = service.requests
+    lines.append(f"goodput={goodput_rps(recs, BATCHING_TTFT_SLO)!r}")
+    return "\n".join(lines)
+
+
+def service_batching(
+    model: str = "Qwen1.5-1.8B",
+    device: str = "Redmi K70 Pro",
+    seed: int = 42,
+    prefill_priorities: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    max_batch_tokens: int = BATCHING_BATCH_TOKENS,
+    max_concurrency: int = BATCHING_CONCURRENCY,
+) -> Table:
+    """Continuous batching vs. per-request dispatch, sweeping the knob.
+
+    Plays the decode-heavy two-tier overload stream
+    (:func:`batching_arrivals`) through the per-request scheduler
+    (baseline row) and the step loop at several ``prefill_priority``
+    settings.  The two claims the table carries (and the benchmark
+    asserts): the step loop's goodput beats the baseline's, and
+    raising ``prefill_priority`` lowers TTFT while raising ITL — the
+    iteration-level trade-off the knob exists for.
+    """
+    stream = batching_arrivals(seed=seed)
+    fault = FaultSpec(transient_rate=0.1, seed=7)
+    table = Table(
+        title=f"Continuous batching — {model} ({device}), decode-heavy "
+              f"two-tier stream, batch budget {max_batch_tokens} tok × "
+              f"{max_concurrency} requests",
+        columns=["mode", "completed", "goodput req/s", "mean ttft s",
+                 "mean itl s", "int ttft max s", "bg ttft mean s"],
+    )
+
+    def add_row(label: str, service: LlmService) -> None:
+        recs = service.requests
+        m = service.metrics()
+        done = [r for r in recs if r.status == "completed"]
+        ttfts = [r.ttft_s for r in done if r.ttft_s is not None]
+        itls = [r.itl_s for r in done if r.itl_s is not None]
+        int_ttfts = [r.ttft_s for r in done
+                     if r.tier == "interactive" and r.ttft_s is not None]
+        bg_ttfts = [r.ttft_s for r in done
+                    if r.tier == "background" and r.ttft_s is not None]
+        table.add_row(
+            label,
+            m.n_completed,
+            goodput_rps(recs, BATCHING_TTFT_SLO),
+            float(np.mean(ttfts)) if ttfts else 0.0,
+            float(np.mean(itls)) if itls else 0.0,
+            float(np.max(int_ttfts)) if int_ttfts else 0.0,
+            float(np.mean(bg_ttfts)) if bg_ttfts else 0.0,
+        )
+
+    add_row("per-request (baseline)",
+            _run_two_tier("priority", True, model, device, stream,
+                          fault_spec=fault))
+    for p in prefill_priorities:
+        service = _run_two_tier(
+            "priority", True, model, device, stream, fault_spec=fault,
+            batching=BatchConfig(max_batch_tokens=max_batch_tokens,
+                                 max_concurrency=max_concurrency,
+                                 prefill_priority=p))
+        add_row(f"step loop p={p:g}", service)
+    table.add_note("goodput counts completed requests whose TTFT met "
+                   "the tier bound (interactive 4 s, background 30 s) "
+                   "per second of span; prefill_priority trades TTFT "
+                   "(lower at 1.0) against ITL (lower at 0.0) — the "
+                   "iteration-level scheduler's knob")
+    return table

@@ -10,6 +10,7 @@ from repro.graph.builder import (
 from repro.graph.chunk import (
     ChunkSharingGraph,
     SharingStats,
+    chunk_token_lengths,
     n_chunks_for,
     padded_tokens,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "ShadowProfile",
     "ChunkSharingGraph",
     "SharingStats",
+    "chunk_token_lengths",
     "n_chunks_for",
     "padded_tokens",
     "GraphMemoryPlan",

@@ -39,6 +39,40 @@ def padded_tokens(prompt_len: int, chunk_len: int) -> int:
     return n_chunks_for(prompt_len, chunk_len) * chunk_len - prompt_len
 
 
+def chunk_token_lengths(prompt_len: int, chunk_len: int,
+                        cached_tokens: int = 0) -> List[int]:
+    """New-token count attributed to each chunk pass of a prefill.
+
+    This is the token-accounting twin of :meth:`ChunkSharingGraph.
+    plans_for_prompt`: entry ``i`` is how many of the prompt's *new*
+    tokens chunk pass ``i`` processes (padding slots are excluded — the
+    list always sums to ``prompt_len`` exactly, which is the
+    conservation invariant the step-loop batcher relies on).  With
+    ``cached_tokens`` from earlier turns, a partial trailing cache
+    chunk is re-prefilled together with the first new tokens, so the
+    first entry is shortened by the cache remainder.
+
+    Edge cases the batcher feeds through here: a prompt shorter than
+    one chunk (one entry, the prompt itself), a prompt that is an exact
+    multiple of the chunk length (all entries equal ``chunk_len``), and
+    a single-token tail chunk (last entry 1).
+    """
+    if prompt_len <= 0 or chunk_len <= 0:
+        raise GraphError(
+            f"invalid prompt/chunk length {prompt_len}/{chunk_len}"
+        )
+    if cached_tokens < 0:
+        raise GraphError(f"negative cached_tokens {cached_tokens}")
+    remainder = cached_tokens % chunk_len
+    lengths = [min(prompt_len, chunk_len - remainder)]
+    left = prompt_len - lengths[0]
+    while left > 0:
+        take = min(chunk_len, left)
+        lengths.append(take)
+        left -= take
+    return lengths
+
+
 @dataclass(frozen=True)
 class SharingStats:
     """Shared-vs-dynamic subgraph accounting for a max chunk count."""

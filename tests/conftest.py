@@ -1,9 +1,24 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.model import OutlierSpec, build_synthetic_model, tiny_config
+
+try:  # hypothesis is a dev extra; the property suites importorskip it
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci", max_examples=200, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.register_profile(
+        "dev", max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover
+    pass
 
 
 @pytest.fixture(scope="session")

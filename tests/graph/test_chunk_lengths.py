@@ -1,0 +1,63 @@
+"""Edge cases for :func:`repro.graph.chunk_token_lengths` — the chunk
+splitter the step-loop scheduler builds continuation state from."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import chunk_token_lengths
+
+
+class TestChunkTokenLengths:
+    def test_prompt_shorter_than_one_chunk(self):
+        assert chunk_token_lengths(100, 256) == [100]
+
+    def test_single_token_prompt(self):
+        assert chunk_token_lengths(1, 256) == [1]
+
+    def test_exact_multiple_of_chunk_size(self):
+        assert chunk_token_lengths(768, 256) == [256, 256, 256]
+
+    def test_exactly_one_chunk(self):
+        assert chunk_token_lengths(256, 256) == [256]
+
+    def test_single_token_tail_chunk(self):
+        assert chunk_token_lengths(513, 256) == [256, 256, 1]
+
+    def test_cached_prefix_shortens_first_chunk(self):
+        # 100 cached tokens leave 156 slots in the first chunk
+        assert chunk_token_lengths(500, 256, cached_tokens=100) \
+            == [156, 256, 88]
+
+    def test_cached_prefix_multiple_of_chunk_is_neutral(self):
+        assert chunk_token_lengths(500, 256, cached_tokens=512) \
+            == chunk_token_lengths(500, 256)
+
+    def test_cached_prefix_larger_than_prompt_remainder(self):
+        # remainder 255 leaves one slot; prompt of one token fits it
+        assert chunk_token_lengths(1, 256, cached_tokens=255) == [1]
+
+    @pytest.mark.parametrize("prompt,chunk,cached", [
+        (0, 256, 0), (-1, 256, 0), (10, 0, 0), (10, -4, 0), (10, 8, -1),
+    ])
+    def test_invalid_arguments_raise(self, prompt, chunk, cached):
+        with pytest.raises(GraphError):
+            chunk_token_lengths(prompt, chunk, cached_tokens=cached)
+
+    def test_conservation_and_bounds_sweep(self):
+        """Deterministic sweep of the conservation invariant: chunk
+        lengths are positive, at most chunk_len, sum to the prompt, and
+        only the first chunk may be shortened by the cached prefix."""
+        for chunk in (1, 3, 32, 256):
+            for prompt in (1, 2, chunk - 1 or 1, chunk, chunk + 1,
+                           3 * chunk, 3 * chunk + 1, 7 * chunk - 1):
+                for cached in (0, 1, chunk - 1, chunk, 2 * chunk + 1):
+                    if prompt <= 0 or cached < 0:
+                        continue
+                    lens = chunk_token_lengths(prompt, chunk,
+                                               cached_tokens=cached)
+                    assert sum(lens) == prompt
+                    assert all(0 < n <= chunk for n in lens)
+                    assert all(n == chunk for n in lens[1:-1])
+                    if len(lens) > 1:
+                        first_room = chunk - cached % chunk
+                        assert lens[0] == first_room

@@ -50,8 +50,9 @@ class TestExperimentRegistry:
     def test_registry_complete(self):
         # every table and figure of the evaluation section (14) plus the
         # extension ablations, the calibration dashboard, the
-        # service-layer experiments, and fleet-slo
-        assert len(EXPERIMENTS) == 29
+        # service-layer experiments (incl. service-batching), and
+        # fleet-slo
+        assert len(EXPERIMENTS) == 30
         paper = [n for n in EXPERIMENTS
                  if n.startswith(("fig", "table"))]
         assert len(paper) == 14
