@@ -173,3 +173,48 @@ for p in 0.0 1.0; do
          "runs (prefill_priority=$p, $(wc -l < "$b1") lines)"
     rm -f "$b1" "$b2"
 done
+
+# The scheduler step log (repro.steps/v1) — queue snapshots, typed
+# decisions, embedded breakdowns — is itself a golden artifact: two
+# independent evaluations must serialize to identical bytes, and the
+# schema checker must accept it.
+steplog() {
+    python -c 'from repro.eval import golden_steplog_json
+print(golden_steplog_json(seed=42, batched=True))'
+}
+
+steps1=$(mktemp)
+steps2=$(mktemp)
+noop1=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$trace1" "$trace2" "$prof1" "$prof2" \
+     "$fleet1" "$fleet2" "$seq1" "$seq2" "$seq3" "$steps1" "$steps2" \
+     "$noop1"' EXIT
+
+steplog > "$steps1"
+steplog > "$steps2"
+
+if ! cmp -s "$steps1" "$steps2"; then
+    echo "FAIL: consecutive golden step logs differ" >&2
+    exit 1
+fi
+python scripts/check_trace_schema.py "$steps1"
+echo "OK: golden step log is byte-identical across runs" \
+     "($(wc -c < "$steps1") bytes)"
+
+# Observation is a no-op: the golden snapshot with a StepLogger
+# attached (decision emission enabled) must equal the unobserved one
+# byte-for-byte.
+observed_snapshot() {
+    python -c 'from repro.eval import service_golden_snapshot
+from repro.obs import StepLogger
+print(service_golden_snapshot(seed=42, steplog=StepLogger()))'
+}
+
+observed_snapshot > "$noop1"
+if ! diff -u "$out1" "$noop1"; then
+    echo "FAIL: attaching a StepLogger changed the golden snapshot" \
+         "(observation must be a no-op)" >&2
+    exit 1
+fi
+echo "OK: golden snapshot is unchanged with step logging attached" \
+     "(observation is a no-op)"

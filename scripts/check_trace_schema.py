@@ -29,6 +29,15 @@ Four modes, selectable by file content:
 * ``repro.fleet/v1`` reports written by ``llmnpu fleet`` — checks the
   device records, the merged percentile blocks, and the embedded
   alerts timeline (same invariants as above).
+* ``repro.steps/v1`` scheduler step logs written by
+  :meth:`repro.obs.StepLogger.save` / ``llmnpu explain --steplog-out``
+  — checks the step/decision/request record shapes, that every decision
+  uses the closed action taxonomy, and per-step work conservation:
+  the items' summed span equals the step window within 1e-9 s.
+
+Schema strings and the decision taxonomy are loaded from
+``src/repro/obs/schemas.py`` *by file path*, so this checker and the
+writers can never disagree about them.
 
 Usage::
 
@@ -38,8 +47,10 @@ Usage::
 Exits non-zero with a line-numbered message on the first violation.
 """
 
+import importlib.util
 import json
 import math
+import os
 import sys
 
 SPAN_KEYS = {"type", "name", "cat", "proc", "thread", "start_s", "end_s",
@@ -47,10 +58,29 @@ SPAN_KEYS = {"type", "name", "cat", "proc", "thread", "start_s", "end_s",
 INSTANT_KEYS = {"type", "name", "cat", "proc", "thread", "ts_s", "args"}
 METRIC_KINDS = {"counter", "gauge", "histogram"}
 
-PROFILE_SCHEMA = "repro.profile/v1"
-BENCH_SCHEMA = "repro.bench/v1"
-ALERTS_SCHEMA = "repro.alerts/v1"
-FLEET_SCHEMA = "repro.fleet/v1"
+
+def _load_schemas():
+    """The ``repro.*/v1`` constant table, loaded by file path.
+
+    ``src/repro/obs/schemas.py`` is dependency-free by contract, so the
+    checker executes the very module the writers import — schema strings
+    and the decision taxonomy cannot drift between the two.
+    """
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "src", "repro", "obs", "schemas.py")
+    spec = importlib.util.spec_from_file_location("_repro_schemas", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_SCHEMAS = _load_schemas()
+PROFILE_SCHEMA = _SCHEMAS.PROFILE_SCHEMA
+BENCH_SCHEMA = _SCHEMAS.BENCH_SCHEMA
+ALERTS_SCHEMA = _SCHEMAS.ALERTS_SCHEMA
+FLEET_SCHEMA = _SCHEMAS.FLEET_SCHEMA
+STEPS_SCHEMA = _SCHEMAS.STEPS_SCHEMA
+DECISION_ACTIONS = set(_SCHEMAS.DECISION_ACTIONS)
 ALERT_STATES = {"pending", "firing", "resolved"}
 LINK_KINDS = {"request", "fault"}
 IDLE_CAUSES = {"graph_build", "sync_wait", "dependency", "starvation"}
@@ -144,6 +174,20 @@ def check_chrome(path, events):
             for key in ("name", "pid", "tid", "ts"):
                 if key not in e:
                     fail(f"{where}: instant event missing {key!r}")
+        elif ph == "C":
+            # Perfetto counter samples (scheduler queue depth / batch
+            # occupancy / KV headroom tracks).
+            for key in ("name", "pid", "tid", "ts", "args"):
+                if key not in e:
+                    fail(f"{where}: counter event missing {key!r}")
+            if not isinstance(e["args"], dict) or not e["args"]:
+                fail(f"{where}: counter event needs a non-empty "
+                     f"args series")
+            for series, value in e["args"].items():
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    fail(f"{where}: counter series {series!r} must be "
+                         f"numeric")
         else:
             fail(f"{where}: unknown phase {ph!r}")
     n_overlap_checked = 0
@@ -419,6 +463,63 @@ def check_fleet(path, doc):
           f"{len(doc['alerts']['incidents'])} incidents")
 
 
+def check_steps(path, doc):
+    """``repro.steps/v1``: the invariants of
+    ``repro.obs.steplog.validate_steps_doc``, stdlib-only."""
+    for key in ("source", "n_steps", "n_requests", "n_decisions",
+                "steps", "decisions", "requests"):
+        if key not in doc:
+            fail(f"{path}: step log missing {key!r}")
+    for key in ("steps", "decisions", "requests"):
+        if not isinstance(doc[key], list):
+            fail(f"{path}: {key!r} must be a list")
+    if doc["n_steps"] != len(doc["steps"]):
+        fail(f"{path}: n_steps != len(steps)")
+    if doc["n_requests"] != len(doc["requests"]):
+        fail(f"{path}: n_requests != len(requests)")
+    if doc["n_decisions"] != len(doc["decisions"]):
+        fail(f"{path}: n_decisions != len(decisions)")
+    for i, step in enumerate(doc["steps"]):
+        where = f"{path}: steps[{i}]"
+        for key in ("index", "start_s", "end_s", "n_inflight",
+                    "batch_tokens", "items", "queued_ids",
+                    "queue_depths"):
+            if key not in step:
+                fail(f"{where}: missing {key!r}")
+        if not _finite(step["start_s"]) or not _finite(step["end_s"]):
+            fail(f"{where}: step window must be finite")
+        if step["end_s"] < step["start_s"]:
+            fail(f"{where}: step ends before it starts")
+        span = sum(it["end_s"] - it["start_s"] for it in step["items"])
+        window = step["end_s"] - step["start_s"]
+        if abs(span - window) > 1e-9:
+            fail(f"{where}: items span {span!r} != step window "
+                 f"{window!r} (work conservation)")
+    for i, dec in enumerate(doc["decisions"]):
+        where = f"{path}: decisions[{i}]"
+        for key in ("t_s", "request_id", "action", "tier"):
+            if key not in dec:
+                fail(f"{where}: missing {key!r}")
+        if dec["action"] not in DECISION_ACTIONS:
+            fail(f"{where}: unknown action {dec['action']!r}")
+        if not _finite(dec["t_s"]):
+            fail(f"{where}: t_s must be a finite number")
+    for i, req in enumerate(doc["requests"]):
+        where = f"{path}: requests[{i}]"
+        for key in ("request_id", "tier", "status", "arrival_s",
+                    "start_s", "finish_s", "breakdown"):
+            if key not in req:
+                fail(f"{where}: missing {key!r}")
+        breakdown = req["breakdown"]
+        for key in ("queue_s", "admission_s", "retry_s", "prefill_s",
+                    "decode_s", "turnaround_s"):
+            if not _finite(breakdown.get(key)):
+                fail(f"{where}: breakdown missing numeric {key!r}")
+    print(f"OK: {path}: step log from {doc['source']!r}: "
+          f"{len(doc['steps'])} steps, {len(doc['decisions'])} "
+          f"decisions, {len(doc['requests'])} requests")
+
+
 def check_file(path):
     with open(path) as f:
         head = f.read(1)
@@ -443,10 +544,11 @@ def check_file(path):
                 check_alerts(path, doc)
             elif schema == FLEET_SCHEMA:
                 check_fleet(path, doc)
+            elif schema == STEPS_SCHEMA:
+                check_steps(path, doc)
             else:
                 fail(f"{path}: unknown schema {schema!r} (expected one "
-                     f"of {PROFILE_SCHEMA!r}, {BENCH_SCHEMA!r}, "
-                     f"{ALERTS_SCHEMA!r}, {FLEET_SCHEMA!r})")
+                     f"of {sorted(_SCHEMAS.SCHEMA_TABLE)})")
         else:
             check_jsonl(path)
     else:

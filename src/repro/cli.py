@@ -341,23 +341,31 @@ def cmd_fleet(args) -> int:
     and the merged incident timeline."""
     import json
 
+    from repro.errors import ReproError
     from repro.eval import (
         default_fleet,
         fleet_compliance_table,
         fleet_latency_table,
         fleet_percentile_table,
         fleet_report,
+        fleet_scheduler_table,
         incident_table,
     )
     from repro.obs import validate_timeline_doc
 
-    report = fleet_report(
-        specs=default_fleet(args.devices, seed=args.seed), seed=args.seed
-    )
-    validate_timeline_doc(report["alerts"])
+    try:
+        report = fleet_report(
+            specs=default_fleet(args.devices, seed=args.seed),
+            seed=args.seed,
+        )
+        validate_timeline_doc(report["alerts"])
+    except ReproError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
     for table in (fleet_percentile_table(report),
                   fleet_latency_table(report),
                   fleet_compliance_table(report),
+                  fleet_scheduler_table(report),
                   incident_table(report["alerts"],
                                  title=f"Fleet incident timeline "
                                        f"(seed={args.seed})")):
@@ -378,15 +386,20 @@ def cmd_fleet(args) -> int:
 def cmd_monitor(args) -> int:
     """Run the seeded fault-storm scenario under SLO monitoring and
     print the compliance scoreboard + burn-rate incident timeline."""
+    from repro.errors import ReproError
     from repro.eval import fault_storm_monitor, incident_table
     from repro.eval.report import Table
     from repro.obs import validate_timeline_doc
 
-    monitor = fault_storm_monitor(seed=args.seed,
-                                  transient_rate=args.transient_rate,
-                                  permanent_rate=args.permanent_rate)
-    doc = monitor.timeline()
-    validate_timeline_doc(doc)
+    try:
+        monitor = fault_storm_monitor(seed=args.seed,
+                                      transient_rate=args.transient_rate,
+                                      permanent_rate=args.permanent_rate)
+        doc = monitor.timeline()
+        validate_timeline_doc(doc)
+    except ReproError as exc:
+        print(f"monitor: {exc}", file=sys.stderr)
+        return 2
     scoreboard = Table(
         title=f"SLO compliance — fault storm (seed={args.seed}, "
               f"transient={args.transient_rate:g}, "
@@ -437,10 +450,63 @@ def cmd_bench_compare(args) -> int:
     n_regressed = len(comparison.regressions)
     n_total = len(comparison.deltas)
     if n_regressed:
+        # One line per offender on stderr: which metric, which way it
+        # is allowed to move, golden vs fresh value, and the artifact
+        # to regenerate — so CI logs are actionable without rerunning.
+        for d in comparison.regressions:
+            fresh = ("<missing>" if d.candidate is None
+                     else f"{d.candidate:g}")
+            where = f" [artifact {d.path}]" if d.path else ""
+            print(f"regressed: {d.metric} ({d.direction} is better): "
+                  f"baseline {d.baseline:g} -> candidate {fresh}{where}",
+                  file=sys.stderr)
         print(f"\nFAIL: {n_regressed}/{n_total} metrics regressed",
               file=sys.stderr)
         return 1
     print(f"\nOK: {n_total} metrics within thresholds")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Explain one request of a step-logged run: per-request wait
+    attribution (behind whom, which knob) reconstructed from the
+    ``repro.steps/v1`` decision log, reconciled against the traced
+    breakdown within 1e-9 s."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.obs import (
+        explain_lines,
+        explain_table,
+        load_steps,
+        validate_steps_doc,
+    )
+
+    try:
+        if args.steplog:
+            doc = load_steps(args.steplog)
+            validate_steps_doc(doc)
+        else:
+            from repro.eval import golden_steplog
+            doc = golden_steplog(
+                seed=args.seed, batched=args.batched,
+                prefill_priority=args.prefill_priority,
+            ).to_dict()
+        if args.steplog_out:
+            _write_json(args.steplog_out,
+                        json.dumps(doc, indent=2, sort_keys=True))
+            print(f"[step log (repro.steps/v1) -> {args.steplog_out}]")
+        if args.request_id is None:
+            print(explain_table(
+                doc, title=f"Wait attribution — {doc['source']} "
+                           f"({doc['n_requests']} requests, "
+                           f"{doc['n_steps']} steps)").render())
+        else:
+            for line in explain_lines(doc, args.request_id):
+                print(line)
+    except ReproError as exc:
+        print(f"explain: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -576,6 +642,30 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--all-metrics", action="store_true",
                          help="list every metric, not just movers")
     compare.set_defaults(func=cmd_bench_compare)
+
+    explain = sub.add_parser(
+        "explain",
+        help="per-request wait attribution from the scheduler's step "
+             "log: behind whom, held by which knob, reconciled to the "
+             "traced breakdown",
+    )
+    explain.add_argument("request_id", nargs="?", type=int, default=None,
+                         help="request id to explain (omit for the "
+                              "all-requests attribution table)")
+    explain.add_argument("--seed", type=int, default=42,
+                         help="golden-workload seed (ignored with "
+                              "--steplog)")
+    explain.add_argument("--batched", action="store_true",
+                         help="explain the batched golden run instead "
+                              "of the legacy per-request run")
+    explain.add_argument("--prefill-priority", type=float, default=0.5,
+                         help="batched run's prefill/decode knob")
+    explain.add_argument("--steplog", default=None,
+                         help="read a saved repro.steps/v1 log instead "
+                              "of rerunning the golden workload")
+    explain.add_argument("--steplog-out", default=None,
+                         help="also write the run's repro.steps/v1 log")
+    explain.set_defaults(func=cmd_explain)
     return parser
 
 

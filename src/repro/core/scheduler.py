@@ -302,7 +302,18 @@ class StepItem:
 
 @dataclass(frozen=True)
 class StepRecord:
-    """Audit record of one executed step (the invariant tests read these)."""
+    """Audit record of one executed step (the invariant tests read these).
+
+    The telemetry fields after ``kv_reserved_bytes`` snapshot the queue
+    state the moment the step was assembled: ``queued_ids`` is the
+    waiting queue in dispatch order, ``queue_depths`` the per-tier
+    ``(tier, depth)`` pairs (sorted), ``kv_blocked_id`` the head request
+    deferred by the KV budget this step (if any), ``concurrency_full``
+    whether the start loop stopped at ``max_concurrency``, and
+    ``budget_tokens`` / ``kv_budget_bytes`` echo the governing
+    :class:`BatchConfig` limits.  All default so existing constructions
+    (and the PR-6 invariant suite) are unaffected.
+    """
 
     index: int
     start_s: float
@@ -310,6 +321,12 @@ class StepRecord:
     items: Tuple["StepItem", ...]
     n_inflight: int
     kv_reserved_bytes: int
+    queued_ids: Tuple[int, ...] = ()
+    queue_depths: Tuple[Tuple[str, int], ...] = ()
+    kv_blocked_id: Optional[int] = None
+    concurrency_full: bool = False
+    budget_tokens: Optional[int] = None
+    kv_budget_bytes: Optional[int] = None
 
     @property
     def prefill_tokens(self) -> int:
@@ -322,6 +339,25 @@ class StepRecord:
     @property
     def batch_tokens(self) -> int:
         return self.prefill_tokens + self.decode_tokens
+
+    @property
+    def queue_depth(self) -> int:
+        """Total requests waiting (not yet started) at assembly time."""
+        return len(self.queued_ids)
+
+    @property
+    def budget_utilization(self) -> Optional[float]:
+        """``batch_tokens / budget_tokens`` (None when unbounded)."""
+        if not self.budget_tokens:
+            return None
+        return self.batch_tokens / self.budget_tokens
+
+    @property
+    def kv_utilization(self) -> Optional[float]:
+        """``kv_reserved_bytes / kv_budget_bytes`` (None when unbounded)."""
+        if not self.kv_budget_bytes:
+            return None
+        return self.kv_reserved_bytes / self.kv_budget_bytes
 
 
 class ChunkContinuation:

@@ -76,6 +76,7 @@ from repro.hw.sim import FaultInjector, FaultSpec
 from repro.hw.soc import SocSpec, get_device
 from repro.model.config import ModelConfig, get_model_config
 from repro.obs.metrics import MetricsRegistry, as_registry
+from repro.obs.steplog import Decision
 from repro.obs.tracer import Tracer, as_tracer
 from repro.workloads.datasets import WorkloadSample
 
@@ -390,6 +391,7 @@ class LlmService:
         self._cancelled: set = set()
         self._est_cache: Dict[Tuple, InferenceReport] = {}
         self._observers: List = []
+        self._step_observers: List = []
         self._next_id = 0
 
     # -- engine lifecycle -----------------------------------------------------
@@ -632,6 +634,47 @@ class LlmService:
             raise EngineError("observer must be callable")
         self._observers.append(observer)
 
+    def add_step_observer(self, observer) -> None:
+        """Register a consumer of the scheduler's step telemetry.
+
+        ``observer`` is duck-typed: its optional ``on_step(record)``
+        receives every executed
+        :class:`~repro.core.scheduler.StepRecord` and its optional
+        ``on_decision(decision)`` every typed
+        :class:`~repro.obs.steplog.Decision` (admissions, dispatches,
+        per-step chunk/decode scheduling and skips, terminal statuses —
+        see :data:`~repro.obs.steplog.DECISION_ACTIONS`).  Like
+        :meth:`add_observer` this is strictly read-only, and with no
+        step observers attached the serving paths do no telemetry work
+        at all — golden artifacts stay byte-identical either way.
+        """
+        if not (callable(getattr(observer, "on_step", None))
+                or callable(getattr(observer, "on_decision", None))):
+            raise EngineError(
+                "step observer must define on_step() or on_decision()")
+        self._step_observers.append(observer)
+
+    def _emit_decision(self, t_s: float, request_id: int, tier: str,
+                       action: str, step: Optional[int] = None,
+                       quantity: Optional[str] = None,
+                       value: Optional[float] = None,
+                       limit: Optional[float] = None) -> None:
+        """Fan one scheduler decision out to the step observers."""
+        decision = Decision(t_s=t_s, request_id=request_id, tier=tier,
+                            action=action, step=step, quantity=quantity,
+                            value=value, limit=limit)
+        for observer in self._step_observers:
+            fn = getattr(observer, "on_decision", None)
+            if callable(fn):
+                fn(decision)
+
+    def _emit_step(self, record: StepRecord) -> None:
+        """Fan one executed step out to the step observers."""
+        for observer in self._step_observers:
+            fn = getattr(observer, "on_step", None)
+            if callable(fn):
+                fn(record)
+
     def _observe(self, record: ServedRequest) -> None:
         """Fold one finished record into the live metrics registry."""
         reg = self.metrics_registry
@@ -651,6 +694,12 @@ class LlmService:
             if record.itl_s is not None:
                 reg.histogram("service_itl_s",
                               tier=record.tier).observe(record.itl_s)
+        if self._step_observers:
+            self._emit_decision(
+                record.finish_s, record.request_id, record.tier,
+                record.status, quantity="turnaround_s",
+                value=record.turnaround_s,
+            )
         for observer in self._observers:
             observer(record)
 
@@ -788,6 +837,7 @@ class LlmService:
         if req.request_id in self._cancelled:
             records.append(self._shed(req, req.arrival_s, "cancelled"))
             return
+        wait = None
         if self.admission:
             engine = self._engines[req.model]
             wait = max(0.0, free_s - req.arrival_s)
@@ -807,6 +857,13 @@ class LlmService:
                         tier=req.tier.name, projected_wait_s=wait,
                         slo_s=req.tier.slo_queueing_s,
                     )
+                if self._step_observers:
+                    self._emit_decision(
+                        req.arrival_s, req.request_id, req.tier.name,
+                        "admission-rejected",
+                        quantity="projected_wait_s", value=wait,
+                        limit=req.tier.slo_queueing_s,
+                    )
                 records.append(self._shed(req, req.arrival_s, "rejected"))
                 return
             self.metrics_registry.counter(
@@ -818,6 +875,13 @@ class LlmService:
                     ts_s=req.arrival_s, cat="admission",
                     tier=req.tier.name, projected_wait_s=wait,
                 )
+        if self._step_observers:
+            self._emit_decision(
+                req.arrival_s, req.request_id, req.tier.name, "admitted",
+                quantity="projected_wait_s", value=wait,
+                limit=(req.tier.slo_queueing_s if self.admission
+                       else None),
+            )
         queue.push(req, now_s=req.arrival_s)
 
     def run(self) -> List[ServedRequest]:
@@ -867,6 +931,12 @@ class LlmService:
                     new_records.append(self._shed(req, req.deadline_s,
                                                   "timeout"))
                     continue
+                if self._step_observers:
+                    self._emit_decision(
+                        free_s, req.request_id, req.tier.name,
+                        "dispatched", quantity="queueing_s",
+                        value=free_s - req.arrival_s,
+                    )
                 record = self._execute(engine, req, free_s)
                 free_s = max(free_s, record.finish_s)
                 new_records.append(record)
@@ -1069,6 +1139,7 @@ class LlmService:
                         continue
                     break
                 # start queued requests into the batch
+                kv_blocked_id: Optional[int] = None
                 while queue and (bcfg.max_concurrency is None
                                  or len(inflight) < bcfg.max_concurrency):
                     head = queue.peek()
@@ -1081,6 +1152,16 @@ class LlmService:
                         reserved = sum(s.kv_reserved_bytes
                                        for s in inflight)
                         if reserved + projected > bcfg.kv_budget_bytes:
+                            kv_blocked_id = head.request_id
+                            if self._step_observers:
+                                self._emit_decision(
+                                    now, head.request_id, head.tier.name,
+                                    "kv-deferred",
+                                    step=len(self._steps),
+                                    quantity="kv_projected_bytes",
+                                    value=float(reserved + projected),
+                                    limit=float(bcfg.kv_budget_bytes),
+                                )
                             break  # head-of-line: wait for KV to free
                     req = queue.pop(now_s=now)
                     if req.request_id in self._cancelled:
@@ -1098,12 +1179,34 @@ class LlmService:
                         continue
                     inflight.append(state)
                     open_reqs[req.request_id] = req
+                    if self._step_observers:
+                        self._emit_decision(
+                            state.dispatch_s, req.request_id,
+                            req.tier.name, "started",
+                            step=len(self._steps),
+                            quantity="kv_reserved_bytes",
+                            value=float(state.kv_reserved_bytes),
+                            limit=(None if bcfg.kv_budget_bytes is None
+                                   else float(bcfg.kv_budget_bytes)),
+                        )
+                concurrency_full = (
+                    bool(queue) and kv_blocked_id is None
+                    and bcfg.max_concurrency is not None
+                    and len(inflight) >= bcfg.max_concurrency)
+                if concurrency_full and self._step_observers:
+                    head = queue.peek()
+                    self._emit_decision(
+                        now, head.request_id, head.tier.name,
+                        "concurrency-deferred", step=len(self._steps),
+                        quantity="n_inflight",
+                        value=float(len(inflight)),
+                        limit=float(bcfg.max_concurrency),
+                    )
                 if not inflight:
                     continue
                 items = assemble_step(inflight, bcfg.max_batch_tokens,
                                       bcfg.prefill_priority,
                                       rotation=rotation)
-                rotation += 1
                 if not items:
                     raise EngineError(
                         "step loop stalled: in-flight requests but an "
@@ -1114,6 +1217,62 @@ class LlmService:
                 n_inflight = len(inflight)
                 kv_reserved = sum(s.kv_reserved_bytes for s in inflight)
                 by_id = {s.request_id: s for s in inflight}
+                queued_ids = tuple(e.request_id for e in queue)
+                tier_depths: Dict[str, int] = {}
+                for entry in queue:
+                    tier_depths[entry.tier.name] = (
+                        tier_depths.get(entry.tier.name, 0) + 1)
+                if self._step_observers:
+                    scheduled = {(it.request_id, it.kind)
+                                 for it in items}
+                    for it in items:
+                        state = by_id[it.request_id]
+                        if it.kind == "prefill":
+                            self._emit_decision(
+                                step_start, it.request_id,
+                                state.tier_name, "chunk-scheduled",
+                                step=step_index, quantity="tokens",
+                                value=float(it.tokens),
+                                limit=(None
+                                       if bcfg.max_batch_tokens is None
+                                       else float(
+                                           bcfg.max_batch_tokens)),
+                            )
+                        else:
+                            self._emit_decision(
+                                step_start, it.request_id,
+                                state.tier_name, "decode-scheduled",
+                                step=step_index, quantity="token_index",
+                                value=float(it.index),
+                            )
+                    for state in inflight:
+                        rid = state.request_id
+                        if (not state.prefill_done
+                                and (rid, "prefill") not in scheduled):
+                            self._emit_decision(
+                                step_start, rid, state.tier_name,
+                                "budget-exhausted", step=step_index,
+                                quantity="next_chunk_tokens",
+                                value=float(
+                                    state.chunk_lens[state.cursor]),
+                                limit=(None
+                                       if bcfg.max_batch_tokens is None
+                                       else float(
+                                           bcfg.max_batch_tokens)),
+                            )
+                        elif (state.prefill_done and not state.done
+                                and (rid, "decode") not in scheduled):
+                            self._emit_decision(
+                                step_start, rid, state.tier_name,
+                                "decode-rotated-out", step=step_index,
+                                quantity="rotation",
+                                value=float(rotation),
+                                limit=(None
+                                       if bcfg.max_batch_tokens is None
+                                       else float(
+                                           bcfg.max_batch_tokens)),
+                            )
+                rotation += 1
                 executed: List[StepItem] = []
                 finished_at: Dict[int, float] = {}
                 for item in items:
@@ -1151,7 +1310,15 @@ class LlmService:
                     index=step_index, start_s=step_start, end_s=now,
                     items=tuple(executed), n_inflight=n_inflight,
                     kv_reserved_bytes=kv_reserved,
+                    queued_ids=queued_ids,
+                    queue_depths=tuple(sorted(tier_depths.items())),
+                    kv_blocked_id=kv_blocked_id,
+                    concurrency_full=concurrency_full,
+                    budget_tokens=bcfg.max_batch_tokens,
+                    kv_budget_bytes=bcfg.kv_budget_bytes,
                 ))
+                if self._step_observers:
+                    self._emit_step(self._steps[-1])
                 if finished_at:
                     inflight = [s for s in inflight
                                 if s.request_id not in finished_at]

@@ -31,10 +31,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core import goodput_rps
+from repro.core import BatchConfig, goodput_rps
 from repro.eval.report import Table
 from repro.eval.service_eval import (
+    BATCHING_BATCH_TOKENS,
+    BATCHING_CONCURRENCY,
     BATCHING_TTFT_SLO,
+    batching_arrivals,
     two_tier_arrivals,
     _run_two_tier,
 )
@@ -48,10 +51,11 @@ from repro.obs import (
     QuantileSketch,
     SloMonitor,
     SloSpec,
+    StepLogger,
 )
 
 #: Schema identifier stamped into every fleet SLO report.
-FLEET_SCHEMA = "repro.fleet/v1"
+from repro.obs.schemas import FLEET_SCHEMA  # noqa: E402 (constant table)
 
 #: The fleet's default objectives.  Targets are chosen so the burn-rate
 #: ceiling ``1 / (1 - target)`` clears the fast-burn rule's threshold —
@@ -160,6 +164,36 @@ def run_device(spec: FleetDeviceSpec,
     return service, monitor
 
 
+def run_step_probe(spec: FleetDeviceSpec,
+                   monitor: Optional[SloMonitor] = None):
+    """One device's batched scheduler probe: step telemetry only.
+
+    The fleet's request path stays on the legacy per-request loop (the
+    committed goldens pin its sketches and incident timelines); this
+    probe replays the device under the golden batching config over its
+    seeded batched arrival stream, recording a ``repro.steps/v1`` log.
+    Only the *step* stream — step records and scheduler decisions — is
+    fed into ``monitor`` (:meth:`SloMonitor.observe_step` /
+    :meth:`~SloMonitor.observe_decision`), never the probe's request
+    records, which would pollute the fleet's request sketches and
+    compliance counts.  Returns ``(service, steplog)``.
+    """
+    steplog = StepLogger(source=f"{spec.name}-step-probe")
+    service = _run_two_tier(
+        "priority", True, spec.model, spec.device,
+        batching_arrivals(seed=spec.seed),
+        batching=BatchConfig(max_batch_tokens=BATCHING_BATCH_TOKENS,
+                             max_concurrency=BATCHING_CONCURRENCY),
+        steplog=steplog,
+    )
+    if monitor is not None:
+        for step in steplog.steps:
+            monitor.observe_step(step)
+        for decision in steplog.decisions:
+            monitor.observe_decision(decision)
+    return service, steplog
+
+
 def merged_sketches(
         monitors: Sequence[SloMonitor]) -> Dict[str, QuantileSketch]:
     """Merge per-device sketches key-by-key into fleet sketches."""
@@ -244,6 +278,7 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
     services, monitors = [], []
     for spec in specs:
         service, monitor = run_device(spec, slos=slos, rules=rules)
+        run_step_probe(spec, monitor)
         services.append(service)
         monitors.append(monitor)
     sketches = merged_sketches(monitors)
@@ -281,7 +316,13 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
             "mean_itl_s": (float(np.mean(itls)) if itls else None),
             "goodput_rps": float(goodput_rps(service.requests,
                                              BATCHING_TTFT_SLO)),
+            "scheduler": monitor.scheduler_summary(),
         })
+    fleet_decisions: Dict[str, int] = {}
+    for monitor in monitors:
+        for action, count in monitor.decision_counts().items():
+            fleet_decisions[action] = fleet_decisions.get(action, 0) \
+                + count
     return {
         "schema": FLEET_SCHEMA,
         "seed": seed,
@@ -293,6 +334,10 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
         },
         "sketches": {key: sketches[key].to_dict()
                      for key in sorted(sketches)},
+        "scheduler": {
+            "n_steps": sum(m.n_steps for m in monitors),
+            "decision_counts": dict(sorted(fleet_decisions.items())),
+        },
         "alerts": alerts,
     }
 
@@ -420,6 +465,36 @@ def incident_table(alerts: dict, title: str = "Incident timeline") -> Table:
     if not alerts["incidents"]:
         table.add_note("no incidents — every burn-rate rule stayed "
                        "below threshold")
+    return table
+
+
+def fleet_scheduler_table(report: dict) -> Table:
+    """Fleet scheduler health: per-device occupancy and starvation from
+    the batched step probes, plus the fleet-wide decision mix."""
+    table = Table(
+        title=f"Fleet scheduler occupancy — {report['n_devices']} "
+              f"devices (seed={report['seed']})",
+        columns=["device", "steps", "batch tok mean", "batch tok p95",
+                 "queue p95", "util p95", "starved"],
+    )
+    for device in report["devices"]:
+        sched = device.get("scheduler", {})
+        occupancy = sched.get("batch_tokens", {})
+        depth = sched.get("queue_depth", {})
+        util = sched.get("budget_utilization", {})
+        table.add_row(
+            device["name"], sched.get("n_steps", 0),
+            occupancy.get("mean"), occupancy.get("p95"),
+            depth.get("p95"), util.get("p95"),
+            len(sched.get("starved", ())),
+        )
+    mix = report.get("scheduler", {}).get("decision_counts", {})
+    if mix:
+        table.add_note("fleet decision mix: " + ", ".join(
+            f"{action}={count}" for action, count in mix.items()))
+    table.add_note("occupancy and starvation come from each device's "
+                   "batched step probe (golden batching config over its "
+                   "seeded stream); the request path stays legacy")
     return table
 
 

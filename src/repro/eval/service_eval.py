@@ -178,6 +178,7 @@ def _run_two_tier(
     metrics=None,
     monitor=None,
     batching: Optional[BatchConfig] = None,
+    steplog=None,
 ) -> LlmService:
     service = LlmService(device, EngineConfig(), scheduler=scheduler,
                          admission=admission, fault_spec=fault_spec,
@@ -185,6 +186,8 @@ def _run_two_tier(
                          metrics=metrics, batching=batching)
     if monitor is not None:
         monitor.attach(service)
+    if steplog is not None:
+        steplog.attach(service)
     for tier, sample, arrival in stream:
         service.enqueue(model, sample.prompt_tokens, sample.output_tokens,
                         arrival_s=arrival, tier=tier)
@@ -278,7 +281,8 @@ def service_fault_recovery(
 
 def service_golden_records(seed: int = 42, tracer=None, metrics=None,
                            monitor=None,
-                           batching: Optional[BatchConfig] = None):
+                           batching: Optional[BatchConfig] = None,
+                           steplog=None):
     """The golden regression scenario: two-tier overload with faults.
 
     Returns the served :class:`~repro.core.ServedRequest` records of the
@@ -299,7 +303,7 @@ def service_golden_records(seed: int = 42, tracer=None, metrics=None,
         "priority", True, "Qwen1.5-1.8B", "Redmi K70 Pro", stream,
         fault_spec=FaultSpec(transient_rate=0.1, seed=7),
         tracer=tracer, metrics=metrics, monitor=monitor,
-        batching=batching,
+        batching=batching, steplog=steplog,
     )
     return service
 
@@ -361,13 +365,17 @@ def service_golden_trace(seed: int = 42,
 
 
 def service_golden_snapshot(seed: int = 42,
-                            batching: Optional[BatchConfig] = None) -> str:
+                            batching: Optional[BatchConfig] = None,
+                            steplog=None) -> str:
     """Canonical full-precision text dump of the golden scenario.
 
     ``scripts/check_determinism.sh`` runs this twice and diffs the
-    output byte-for-byte.
+    output byte-for-byte — and once more with a
+    :class:`~repro.obs.StepLogger` attached via ``steplog``, which must
+    not change a byte (observation is a no-op).
     """
-    service = service_golden_records(seed=seed, batching=batching)
+    service = service_golden_records(seed=seed, batching=batching,
+                                     steplog=steplog)
     lines = []
     for r in service.requests:
         lines.append(
@@ -421,7 +429,7 @@ def batched_golden_service(seed: int = 42,
                            prefill_priority: float = 0.5,
                            max_batch_tokens: int = BATCHING_BATCH_TOKENS,
                            max_concurrency: int = BATCHING_CONCURRENCY,
-                           tracer=None) -> LlmService:
+                           tracer=None, steplog=None) -> LlmService:
     """The golden two-tier scenario served by the step loop.
 
     Same tiers, fault seed and admission as
@@ -435,7 +443,7 @@ def batched_golden_service(seed: int = 42,
     return _run_two_tier(
         "priority", True, "Qwen1.5-1.8B", "Redmi K70 Pro", stream,
         fault_spec=FaultSpec(transient_rate=0.1, seed=7),
-        tracer=tracer,
+        tracer=tracer, steplog=steplog,
         batching=BatchConfig(max_batch_tokens=max_batch_tokens,
                              max_concurrency=max_concurrency,
                              prefill_priority=prefill_priority),
@@ -536,3 +544,87 @@ def service_batching(
                    "(lower at 1.0) against ITL (lower at 0.0) — the "
                    "iteration-level scheduler's knob")
     return table
+
+
+def scheduler_occupancy(
+        seed: int = 42,
+        prefill_priorities: Sequence[float] = (0.0, 0.5, 1.0)) -> Table:
+    """Batch occupancy and decision mix across the knob's extremes.
+
+    One step-logged golden batched run per ``prefill_priority``:
+    mean/p95 batch-token occupancy (fraction of the per-step token
+    budget actually filled) plus the decision-mix counts that explain
+    it — chunks and decode tokens scheduled, prefills the budget cut
+    off, decoders rotated out.  The numbers feed
+    ``BENCH_scheduler_occupancy.json`` under the bench-compare gate.
+    """
+    from repro.obs import QuantileSketch, StepLogger, decision_mix, \
+        occupancy_summary
+    table = Table(
+        title=f"Scheduler occupancy — golden batched stream (seed={seed}, "
+              f"budget {BATCHING_BATCH_TOKENS} tok × "
+              f"{BATCHING_CONCURRENCY} requests)",
+        columns=["knob p", "steps", "mean batch tok", "mean batch util",
+                 "p95 batch util", "chunk-sched", "decode-sched",
+                 "budget skips", "rotated out"],
+    )
+    for p in prefill_priorities:
+        logger = StepLogger(source=f"occupancy-p{p:g}")
+        batched_golden_service(seed=seed, prefill_priority=p,
+                               steplog=logger)
+        occ = occupancy_summary(logger.steps)
+        mix = decision_mix(logger.decisions)
+        sketch = QuantileSketch()
+        for s in logger.steps:
+            if s.budget_utilization is not None:
+                sketch.observe(s.budget_utilization)
+        table.add_row(
+            f"p={p:g}", int(occ["n_steps"]),
+            occ["mean_batch_tokens"],
+            occ.get("mean_budget_utilization"),
+            sketch.percentile(95.0) if sketch.count else None,
+            mix.get("chunk-scheduled", 0),
+            mix.get("decode-scheduled", 0),
+            mix.get("budget-exhausted", 0),
+            mix.get("decode-rotated-out", 0),
+        )
+    table.add_note("batch util is batch_tokens / max_batch_tokens per "
+                   "step; decode-leaning settings (p=0) spread prefill "
+                   "over more, emptier steps and skip more chunks "
+                   "(budget-exhausted), prefill-leaning settings (p=1) "
+                   "pack the budget and finish in fewer steps")
+    return table
+
+
+def golden_steplog(seed: int = 42, batched: bool = False,
+                   prefill_priority: float = 0.5):
+    """A :class:`~repro.obs.StepLogger` over one golden run.
+
+    ``batched=False`` replays the golden two-tier scenario on the
+    legacy per-request path (steps empty, decisions + records only);
+    ``batched=True`` replays the decode-heavy stream through the step
+    loop, producing the full step/decision log.  Either way the logger
+    is attached *before* the run, so the document is a pure function of
+    the arguments.
+    """
+    from repro.obs import StepLogger
+    logger = StepLogger(source=f"golden-{'batched' if batched else 'service'}"
+                               f"-seed{seed}")
+    if batched:
+        batched_golden_service(seed=seed,
+                               prefill_priority=prefill_priority,
+                               steplog=logger)
+    else:
+        service_golden_records(seed=seed, steplog=logger)
+    return logger
+
+
+def golden_steplog_json(seed: int = 42, batched: bool = True,
+                        prefill_priority: float = 0.5) -> str:
+    """Canonical ``repro.steps/v1`` JSON of one golden run (one string).
+
+    ``scripts/check_determinism.sh`` diffs two independent evaluations
+    byte-for-byte; the batching-smoke CI job uploads it as an artifact.
+    """
+    return golden_steplog(seed=seed, batched=batched,
+                          prefill_priority=prefill_priority).to_json()

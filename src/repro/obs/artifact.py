@@ -33,13 +33,13 @@ import os
 import platform as _platform
 import subprocess
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.errors import ReproError
 
 #: Schema identifier stamped into every benchmark artifact.
-BENCH_SCHEMA = "repro.bench/v1"
+from repro.obs.schemas import BENCH_SCHEMA  # noqa: E402 (constant table)
 
 #: Default relative regression threshold (fraction of the baseline).
 DEFAULT_REL_TOL = 0.05
@@ -241,6 +241,9 @@ class MetricDelta:
     baseline: Optional[float]
     candidate: Optional[float]
     verdict: str  # 'ok' | 'improved' | 'regressed' | 'missing' | 'new'
+    #: Baseline artifact file this metric came from (set by
+    #: :func:`compare_paths`; None when comparing in-memory artifacts).
+    path: Optional[str] = None
 
     @property
     def delta(self) -> Optional[float]:
@@ -370,10 +373,13 @@ def compare_paths(baseline_path: str, candidate_path: str,
             "directories"
         )
     if not os.path.isdir(baseline_path):
-        return compare_artifacts(
+        comparison = compare_artifacts(
             load_artifact(baseline_path), load_artifact(candidate_path),
             rel_tol=rel_tol, abs_tol=abs_tol,
         )
+        comparison.deltas = [replace(d, path=baseline_path)
+                             for d in comparison.deltas]
+        return comparison
     names = sorted(
         n for n in os.listdir(baseline_path)
         if n.startswith("BENCH_") and n.endswith(".json")
@@ -391,11 +397,12 @@ def compare_paths(baseline_path: str, candidate_path: str,
     for name in names:
         base = load_artifact(os.path.join(baseline_path, name))
         cand_file = os.path.join(candidate_path, name)
+        base_file = os.path.join(baseline_path, name)
         if not os.path.exists(cand_file):
             deltas.append(MetricDelta(
                 metric=f"{base.name or name}.<artifact>",
                 direction="info", baseline=float(len(base.metrics)),
-                candidate=None, verdict="missing",
+                candidate=None, verdict="missing", path=base_file,
             ))
             continue
         cand = load_artifact(cand_file)
@@ -405,7 +412,7 @@ def compare_paths(baseline_path: str, candidate_path: str,
             deltas.append(MetricDelta(
                 metric=f"{prefix}.{d.metric}", direction=d.direction,
                 baseline=d.baseline, candidate=d.candidate,
-                verdict=d.verdict,
+                verdict=d.verdict, path=base_file,
             ))
     return Comparison(
         baseline_name=baseline_path, candidate_name=candidate_path,

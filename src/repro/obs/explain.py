@@ -1,0 +1,293 @@
+"""Per-request wait attribution: *why* did this request wait?
+
+Folds a ``repro.steps/v1`` log (:mod:`repro.obs.steplog`) into one
+:class:`WaitAttribution` per request, answering the question the
+breakdown identity (:mod:`repro.obs.breakdown`) leaves open: the
+breakdown says a request queued for ``queue_s`` seconds, this module
+says **behind whom** and **held by which knob**.
+
+The reconstruction rests on the simulator being work-conserving: an
+engine never idles while any request for its model is queued, so the
+target's queue window ``[arrival_s, start_s]`` is tiled exactly by
+engine time *owned by other requests* — step items (batched path),
+retry preludes, and whole service spans (legacy path).  The attribution
+therefore satisfies, for every request and both serving paths::
+
+    sum(behind.values()) + idle_s + admission_s + retry_s
+        == queue_s + admission_s + retry_s          (the traced wait)
+
+with ``idle_s`` — the part of the window covered by nobody — equal to
+zero up to float rounding.  :func:`validate_explanations` enforces both
+within :data:`~repro.obs.breakdown.SUM_TOL_S` (1e-9 s); the hypothesis
+suite replays the PR-6 invariant workloads through it.
+
+Stalls classify the same covered time by the *reason* the scheduler
+left the target waiting that moment (KV budget, concurrency cap, plain
+backlog), and ``interference_s`` measures the knob-induced stretch: the
+engine time other requests' interleaved items consumed inside the
+target's own residency (zero on the legacy path, where residency is
+exclusive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.breakdown import SUM_TOL_S
+from repro.obs.steplog import StepLogError, as_steps_doc
+
+#: Stall causes, in display order.
+STALL_CAUSES = ("kv-budget", "concurrency", "backlog")
+
+
+@dataclass(frozen=True)
+class WaitAttribution:
+    """One request's wait, attributed.
+
+    ``wait_s`` is the traced queue + admission + retry time (the
+    breakdown components preceding the first prefill chunk).  ``behind``
+    maps the other requests whose engine time tiled the queue window to
+    the seconds each consumed, largest first; ``stalls`` classifies the
+    same seconds by cause; ``idle_s`` is the uncovered residue (~0 by
+    work conservation); ``interference_s`` the engine time others'
+    items consumed inside this request's own residency (batched only).
+    """
+
+    request_id: int
+    tier: str
+    status: str
+    wait_s: float
+    queue_s: float
+    admission_s: float
+    retry_s: float
+    behind: Tuple[Tuple[int, float], ...]
+    stalls: Tuple[Tuple[str, float], ...]
+    idle_s: float
+    interference_s: float
+
+    @property
+    def behind_s(self) -> float:
+        """Queue time attributed to other requests' engine work."""
+        return sum(s for _, s in self.behind)
+
+    @property
+    def attributed_s(self) -> float:
+        """The reconstruction's total — must equal :attr:`wait_s`."""
+        return (self.behind_s + self.idle_s + self.admission_s
+                + self.retry_s)
+
+    @property
+    def residual_s(self) -> float:
+        return self.wait_s - self.attributed_s
+
+
+def _overlap(t0: float, t1: float, w0: float, w1: float) -> float:
+    return max(0.0, min(t1, w1) - max(t0, w0))
+
+
+def _busy_intervals(doc: dict) -> Dict[str, List[tuple]]:
+    """Engine-busy intervals per model: ``(owner_id, t0, t1, step)``.
+
+    ``step`` is the owning step's serialized record for batched items
+    (used for stall classification) and None for retry preludes and
+    legacy whole-request spans.
+    """
+    reqs = {r["request_id"]: r for r in doc["requests"]}
+    out: Dict[str, List[tuple]] = {}
+    for step in doc["steps"]:
+        for item in step["items"]:
+            owner = reqs.get(item["request_id"])
+            model = owner["model"] if owner else ""
+            out.setdefault(model, []).append(
+                (item["request_id"], item["start_s"], item["end_s"],
+                 step))
+    for r in doc["requests"]:
+        model = r["model"]
+        if r.get("batched"):
+            if r["status"] == "completed":
+                held = r.get("retry_held_s") or 0.0
+                if held > 0.0:
+                    out.setdefault(model, []).append(
+                        (r["request_id"], r["start_s"],
+                         r["start_s"] + held, None))
+            elif r["finish_s"] > r["start_s"]:
+                # the retry prelude died (failed / timed out mid-retry)
+                out.setdefault(model, []).append(
+                    (r["request_id"], r["start_s"], r["finish_s"], None))
+        elif r["finish_s"] > r["start_s"]:
+            # legacy path: the whole service span holds the engine
+            out.setdefault(model, []).append(
+                (r["request_id"], r["start_s"], r["finish_s"], None))
+    return out
+
+
+def _stall_cause(step: Optional[dict], request_id: int) -> str:
+    if step is not None:
+        if step.get("kv_blocked_id") == request_id:
+            return "kv-budget"
+        if step.get("concurrency_full"):
+            return "concurrency"
+    return "backlog"
+
+
+def explain_request(source, request_id: int) -> WaitAttribution:
+    """Attribute one request's wait (source: doc, logger, or service)."""
+    doc = as_steps_doc(source)
+    atts = _explain(doc, only=request_id)
+    if not atts:
+        known = [r["request_id"] for r in doc["requests"]]
+        raise StepLogError(
+            f"unknown request id {request_id}; the step log covers "
+            f"{len(known)} requests"
+            + (f" ({min(known)}..{max(known)})" if known else "")
+        )
+    return atts[0]
+
+
+def explain_all(source) -> List[WaitAttribution]:
+    """Attribute every request in the step log (sorted by id)."""
+    return _explain(as_steps_doc(source))
+
+
+def _explain(doc: dict, only: Optional[int] = None
+             ) -> List[WaitAttribution]:
+    busy = _busy_intervals(doc)
+    out: List[WaitAttribution] = []
+    for r in doc["requests"]:
+        rid = r["request_id"]
+        if only is not None and rid != only:
+            continue
+        b = r["breakdown"]
+        w0, w1 = r["arrival_s"], r["start_s"]
+        behind: Dict[int, float] = {}
+        stalls: Dict[str, float] = {}
+        covered = 0.0
+        for owner, t0, t1, step in busy.get(r["model"], ()):
+            if owner == rid:
+                continue
+            part = _overlap(t0, t1, w0, w1)
+            if part <= 0.0:
+                continue
+            covered += part
+            behind[owner] = behind.get(owner, 0.0) + part
+            cause = _stall_cause(step, rid)
+            stalls[cause] = stalls.get(cause, 0.0) + part
+        idle_s = b["queue_s"] - covered
+        interference_s = 0.0
+        if r.get("batched") and r["status"] == "completed":
+            own = sum(
+                item["end_s"] - item["start_s"]
+                for step in doc["steps"] for item in step["items"]
+                if item["request_id"] == rid)
+            held = r.get("retry_held_s") or 0.0
+            interference_s = (r["finish_s"] - r["start_s"] - held) - own
+        out.append(WaitAttribution(
+            request_id=rid,
+            tier=r["tier"],
+            status=r["status"],
+            wait_s=b["queue_s"] + b["admission_s"] + b["retry_s"],
+            queue_s=b["queue_s"],
+            admission_s=b["admission_s"],
+            retry_s=b["retry_s"],
+            behind=tuple(sorted(behind.items(),
+                                key=lambda kv: (-kv[1], kv[0]))),
+            stalls=tuple((c, stalls[c]) for c in STALL_CAUSES
+                         if c in stalls),
+            idle_s=idle_s,
+            interference_s=interference_s,
+        ))
+    out.sort(key=lambda a: a.request_id)
+    return out
+
+
+def validate_explanations(attributions, tol_s: float = SUM_TOL_S) -> None:
+    """Assert the attribution identity for every request.
+
+    Two checks per request, both within ``tol_s``: the attributed total
+    equals the traced wait (queue + admission + retry), and the idle
+    residue is zero — i.e. the behind-whom map *fully* covers the queue
+    window with other requests' engine time (work conservation).
+    """
+    for att in attributions:
+        if abs(att.residual_s) > tol_s:
+            raise StepLogError(
+                f"request {att.request_id}: attribution sums to "
+                f"{att.attributed_s!r} but the traced wait is "
+                f"{att.wait_s!r} (residual {att.residual_s:.3e} s)"
+            )
+        if abs(att.idle_s) > tol_s:
+            raise StepLogError(
+                f"request {att.request_id}: {att.idle_s:.3e} s of its "
+                f"queue window is attributed to nobody (work "
+                f"conservation violated)"
+            )
+
+
+def explain_table(source, title: str = "Wait attribution"):
+    """One row per request: the wait split the CLI and reports print."""
+    from repro.eval.report import Table
+    atts = explain_all(source)
+    validate_explanations(atts)
+    table = Table(
+        title=title,
+        columns=["req", "tier", "status", "wait s", "behind s",
+                 "retry s", "idle s", "top blocker", "interference s"],
+    )
+    for att in atts:
+        top = (f"req {att.behind[0][0]:05d} ({att.behind[0][1]:.3f} s)"
+               if att.behind else "-")
+        table.add_row(att.request_id, att.tier, att.status, att.wait_s,
+                      att.behind_s, att.retry_s, att.idle_s, top,
+                      att.interference_s)
+    table.add_note("behind + idle + admission + retry == traced wait "
+                   "within 1e-9 s per request")
+    return table
+
+
+def explain_lines(source, request_id: int) -> List[str]:
+    """The ``llmnpu explain <id>`` narrative for one request."""
+    doc = as_steps_doc(source)
+    att = explain_request(doc, request_id)
+    req = next(r for r in doc["requests"]
+               if r["request_id"] == request_id)
+    lines = [
+        f"request {att.request_id:05d} [{att.tier}] -> {att.status}",
+        f"  arrival {req['arrival_s']:.6f} s, start "
+        f"{req['start_s']:.6f} s, finish {req['finish_s']:.6f} s",
+        f"  waited {att.wait_s:.6f} s "
+        f"(queue {att.queue_s:.6f} + admission {att.admission_s:.6f} "
+        f"+ retry {att.retry_s:.6f})",
+    ]
+    if att.behind:
+        lines.append("  behind:")
+        for owner, seconds in att.behind:
+            lines.append(f"    req {owner:05d}  {seconds:.6f} s")
+    else:
+        lines.append("  behind: nobody (dispatched on arrival)")
+    if att.stalls:
+        stalls = ", ".join(f"{c} {s:.6f} s" for c, s in att.stalls)
+        lines.append(f"  stalls: {stalls}")
+    if att.interference_s > 0.0:
+        lines.append(f"  interference inside residency: "
+                     f"{att.interference_s:.6f} s "
+                     f"(other requests' interleaved chunks/tokens)")
+    decisions = [d for d in doc["decisions"]
+                 if d["request_id"] == request_id]
+    if decisions:
+        lines.append("  decisions:")
+        for d in decisions:
+            quantity = ""
+            if d.get("quantity") is not None:
+                quantity = f"  {d['quantity']}={d['value']}"
+                if d.get("limit") is not None:
+                    quantity += f" (limit {d['limit']})"
+            step = f" step {d['step']}" if d.get("step") is not None \
+                else ""
+            lines.append(f"    t={d['t_s']:.6f}  "
+                         f"{d['action']}{step}{quantity}")
+    lines.append(f"  reconciliation: attributed {att.attributed_s:.9f} s"
+                 f" vs traced wait {att.wait_s:.9f} s "
+                 f"(residual {att.residual_s:.2e} s, idle "
+                 f"{att.idle_s:.2e} s)")
+    return lines

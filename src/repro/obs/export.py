@@ -34,8 +34,15 @@ from repro.obs.tracer import Instant, Span, Tracer
 _OVERLAP_TOL_S = 1e-12
 
 
-def to_chrome_trace(tracer: Tracer) -> List[dict]:
-    """Tracer records as Chrome-trace events with stable pid/tid mapping."""
+def to_chrome_trace(tracer: Tracer,
+                    steps: Optional[list] = None) -> List[dict]:
+    """Tracer records as Chrome-trace events with stable pid/tid mapping.
+
+    ``steps`` (a run's :class:`~repro.core.scheduler.StepRecord` list or
+    their serialized dicts) additionally merges the scheduler's counter
+    tracks — queue depth, batch occupancy, KV headroom — onto the
+    ``service`` process (see :func:`step_counter_events`).
+    """
     procs = sorted({e.proc for e in tracer.events})
     pids = {proc: i + 1 for i, proc in enumerate(procs)}
     tids: Dict[Tuple[str, str], int] = {}
@@ -69,9 +76,70 @@ def to_chrome_trace(tracer: Tracer) -> List[dict]:
                 "s": "t", "pid": pid, "tid": tid, "ts": e.ts_s * 1e6,
                 "args": dict(e.args),
             })
+    if steps:
+        counter_pid = pids.get("service", len(procs) + 1)
+        if "service" not in pids:
+            out.append({
+                "name": "process_name", "ph": "M", "pid": counter_pid,
+                "tid": 0, "args": {"name": "service"},
+            })
+        body.extend(step_counter_events(steps, pid=counter_pid))
     body.sort(key=lambda ev: (ev["ts"], ev["pid"], ev["tid"],
                               ev["ph"], ev["name"]))
     return out + body
+
+
+def step_counter_events(steps, pid: int = 1) -> List[dict]:
+    """Perfetto counter-track ('C') events from a run's step records.
+
+    Three tracks, sampled at each step's start on process ``pid``:
+
+    * ``queue depth`` — waiting requests per tier (stacked series);
+    * ``batch occupancy`` — the step's prefill vs. decode token split;
+    * ``kv headroom`` — budget minus reserved bytes (only when the run
+      had a ``kv_budget_bytes``; without a budget the reservation is
+      emitted as ``kv reserved`` instead).
+
+    Accepts :class:`~repro.core.scheduler.StepRecord` objects or their
+    ``repro.steps/v1`` dicts.  Counter events carry no duration, so
+    :func:`validate_timeline`'s overlap check ignores them.
+    """
+    def get(step, key):
+        return step[key] if isinstance(step, dict) else getattr(step, key)
+
+    events: List[dict] = []
+    for step in steps:
+        ts = get(step, "start_s") * 1e6
+        depths = get(step, "queue_depths")
+        if not isinstance(depths, dict):
+            depths = dict(depths)
+        events.append({
+            "name": "queue depth", "cat": "scheduler", "ph": "C",
+            "pid": pid, "tid": 0, "ts": ts,
+            "args": {tier: depths.get(tier, 0)
+                     for tier in sorted(depths)} or {"total": 0},
+        })
+        events.append({
+            "name": "batch occupancy", "cat": "scheduler", "ph": "C",
+            "pid": pid, "tid": 0, "ts": ts,
+            "args": {"prefill_tokens": get(step, "prefill_tokens"),
+                     "decode_tokens": get(step, "decode_tokens")},
+        })
+        kv_budget = get(step, "kv_budget_bytes")
+        reserved = get(step, "kv_reserved_bytes")
+        if kv_budget is not None:
+            events.append({
+                "name": "kv headroom", "cat": "scheduler", "ph": "C",
+                "pid": pid, "tid": 0, "ts": ts,
+                "args": {"bytes": kv_budget - reserved},
+            })
+        else:
+            events.append({
+                "name": "kv reserved", "cat": "scheduler", "ph": "C",
+                "pid": pid, "tid": 0, "ts": ts,
+                "args": {"bytes": reserved},
+            })
+    return events
 
 
 def save_chrome_trace(path: str, tracer: Tracer) -> None:
@@ -136,9 +204,16 @@ def service_timeline(service) -> Tracer:
 
 
 def export_service_trace(service, path: str,
-                         validate: bool = True) -> List[dict]:
-    """Merge, optionally validate, and save one service run's timeline."""
-    events = to_chrome_trace(service_timeline(service))
+                         validate: bool = True,
+                         counters: bool = False) -> List[dict]:
+    """Merge, optionally validate, and save one service run's timeline.
+
+    ``counters`` merges the scheduler counter tracks (queue depth,
+    batch occupancy, KV headroom) derived from the run's step records —
+    off by default so golden traces stay byte-identical.
+    """
+    events = to_chrome_trace(service_timeline(service),
+                             steps=service.steps if counters else None)
     if validate:
         validate_timeline(events)
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)

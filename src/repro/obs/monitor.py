@@ -61,13 +61,16 @@ from repro.errors import ReproError
 from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch
 
 #: Schema identifier stamped into every incident timeline.
-ALERTS_SCHEMA = "repro.alerts/v1"
+from repro.obs.schemas import ALERTS_SCHEMA  # noqa: E402 (constant table)
 
 #: SLO objective kinds.
 OBJECTIVES = ("latency", "availability", "energy")
 
 #: Alert lifecycle states.
 ALERT_STATES = ("pending", "firing", "resolved")
+
+#: Default consecutive-queued-step streak the starvation detector flags.
+STARVATION_MIN_STEPS = 8
 
 
 class MonitorError(ReproError):
@@ -365,6 +368,11 @@ class SloMonitor:
         self._requests: List[RequestEvent] = []
         self._faults: List[FaultEvent] = []
         self.sketches: Dict[str, QuantileSketch] = {}
+        # -- scheduler step telemetry (repro.steps/v1 stream) --
+        self._n_steps = 0
+        self._decision_counts: Dict[str, int] = {}
+        self._queued_streaks: Dict[int, int] = {}
+        self._peak_streaks: Dict[int, int] = {}
 
     # -- ingestion ------------------------------------------------------------
 
@@ -405,9 +413,60 @@ class SloMonitor:
             self._faults.append(FaultEvent(t_s=now_s, draw=draw,
                                            kind=kind))
 
+    def observe_step(self, record) -> None:
+        """Streaming consumer of scheduler step records.
+
+        Feeds the batch-occupancy and queue-depth sketches (merged
+        fleet-wide exactly like the request sketches) and advances the
+        starvation detector: a request accrues one streak step for each
+        consecutive step it spends in the waiting queue without being
+        scheduled.  Accepts :class:`~repro.core.scheduler.StepRecord`
+        objects or their ``repro.steps/v1`` dicts.
+        """
+        def get(key):
+            return (record[key] if isinstance(record, dict)
+                    else getattr(record, key))
+
+        self._n_steps += 1
+        self._sketch("batch_tokens", "step").observe(
+            float(get("prefill_tokens") + get("decode_tokens")))
+        queued = tuple(get("queued_ids"))
+        self._sketch("queue_depth", "step").observe(float(len(queued)))
+        self._sketch("inflight", "step").observe(float(get("n_inflight")))
+        util = (get("budget_utilization") if isinstance(record, dict)
+                else record.budget_utilization)
+        if util is not None:
+            self._sketch("budget_utilization", "step").observe(util)
+        for rid in queued:
+            streak = self._queued_streaks.get(rid, 0) + 1
+            self._queued_streaks[rid] = streak
+            if streak > self._peak_streaks.get(rid, 0):
+                self._peak_streaks[rid] = streak
+        for rid in tuple(self._queued_streaks):
+            if rid not in queued:
+                del self._queued_streaks[rid]
+
+    def observe_decision(self, decision) -> None:
+        """Streaming consumer of scheduler decisions (counts the mix)."""
+        action = (decision["action"] if isinstance(decision, dict)
+                  else decision.action)
+        self._decision_counts[action] = \
+            self._decision_counts.get(action, 0) + 1
+
+    # Step-observer protocol (duck-typed by
+    # ``LlmService.add_step_observer`` and ``StepLogger``): the monitor
+    # listens on both channels under its ``observe_*`` names.
+    def on_step(self, record) -> None:
+        self.observe_step(record)
+
+    def on_decision(self, decision) -> None:
+        self.observe_decision(decision)
+
     def attach(self, service) -> "SloMonitor":
         """Register this monitor on a service's streaming hooks."""
         service.add_observer(self.observe_request)
+        if hasattr(service, "add_step_observer"):
+            service.add_step_observer(self)
         if service.fault_injector is not None:
             service.fault_injector.add_listener(self.observe_fault)
         return self
@@ -419,6 +478,64 @@ class SloMonitor:
     @property
     def n_faults(self) -> int:
         return len(self._faults)
+
+    @property
+    def n_steps(self) -> int:
+        return self._n_steps
+
+    def decision_counts(self) -> Dict[str, int]:
+        """The observed decision mix, sorted by action name."""
+        return dict(sorted(self._decision_counts.items()))
+
+    def starved_requests(self, min_steps: int = STARVATION_MIN_STEPS
+                         ) -> List[Tuple[int, int]]:
+        """Requests whose peak consecutive-queued streak reached
+        ``min_steps`` scheduler steps: ``[(request_id, peak_streak)]``.
+        """
+        if min_steps < 1:
+            raise MonitorError(
+                f"min_steps must be >= 1, got {min_steps}")
+        return sorted((rid, streak)
+                      for rid, streak in self._peak_streaks.items()
+                      if streak >= min_steps)
+
+    def scheduler_summary(self,
+                          starvation_min_steps: int = STARVATION_MIN_STEPS
+                          ) -> dict:
+        """Derived scheduler-health view over the observed step stream.
+
+        Empty-stream safe (all-zero summary), so reports can include it
+        unconditionally — legacy (non-batched) runs emit no steps.
+        """
+        occupancy = self.sketches.get("batch_tokens/step")
+        depth = self.sketches.get("queue_depth/step")
+        util = self.sketches.get("budget_utilization/step")
+        summary = {
+            "n_steps": self._n_steps,
+            "decision_counts": self.decision_counts(),
+            "starved": [
+                {"request_id": rid, "streak_steps": streak}
+                for rid, streak in
+                self.starved_requests(starvation_min_steps)
+            ],
+            "starvation_min_steps": starvation_min_steps,
+        }
+        if occupancy is not None and occupancy.count:
+            summary["batch_tokens"] = {
+                "mean": occupancy.mean, "max": occupancy.max,
+                "p50": occupancy.percentile(50.0),
+                "p95": occupancy.percentile(95.0),
+            }
+        if depth is not None and depth.count:
+            summary["queue_depth"] = {
+                "mean": depth.mean, "max": depth.max,
+                "p95": depth.percentile(95.0),
+            }
+        if util is not None and util.count:
+            summary["budget_utilization"] = {
+                "mean": util.mean, "p95": util.percentile(95.0),
+            }
+        return summary
 
     # -- evaluation -----------------------------------------------------------
 

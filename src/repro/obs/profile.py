@@ -50,7 +50,7 @@ from repro.hw.processor import DType, ProcKind, ProcessorSpec
 from repro.hw.trace import Trace
 
 #: Schema identifier stamped into every profile JSON.
-PROFILE_SCHEMA = "repro.profile/v1"
+from repro.obs.schemas import PROFILE_SCHEMA  # noqa: E402 (constant table)
 
 #: Idle-cause categories, in classification priority order.
 IDLE_CAUSES = ("graph_build", "sync_wait", "dependency", "starvation")

@@ -1,0 +1,76 @@
+"""Single source of truth for the ``repro.*/v1`` artifact schemas.
+
+Every schema-versioned JSON document the repo emits declares itself via
+a ``"schema"`` key whose value lives here and **only** here.  Producer
+modules (``obs/profile.py``, ``obs/artifact.py``, ``obs/monitor.py``,
+``obs/sketch.py``, ``obs/steplog.py``, ``eval/fleet.py``) import their
+constant from this table, and ``scripts/check_trace_schema.py`` loads
+this file *by path* (``importlib.util.spec_from_file_location``) so the
+stdlib-only checker validates against the very same strings — a new
+schema cannot drift between writer and checker.
+
+This module must stay dependency-free (pure constants): the schema
+checker executes it without numpy or the ``repro`` package on its path.
+"""
+
+#: Per-operator/per-processor attribution reports (``llmnpu profile``).
+PROFILE_SCHEMA = "repro.profile/v1"
+
+#: Machine-readable benchmark artifacts (``BENCH_<name>.json``).
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: Burn-rate incident timelines (:class:`~repro.obs.monitor.SloMonitor`).
+ALERTS_SCHEMA = "repro.alerts/v1"
+
+#: Fleet roll-up reports (``llmnpu fleet``).
+FLEET_SCHEMA = "repro.fleet/v1"
+
+#: Serialized mergeable quantile sketches.
+SKETCH_SCHEMA = "repro.sketch/v1"
+
+#: Step-level scheduler telemetry logs (``obs/steplog.py``).
+STEPS_SCHEMA = "repro.steps/v1"
+
+#: The ``repro.steps/v1`` decision taxonomy (see ``obs/steplog.py`` for
+#: the per-action semantics).  Lives here so the stdlib-only schema
+#: checker validates against the same closed set the writer enforces.
+DECISION_ACTIONS = (
+    "admitted",
+    "admission-rejected",
+    "started",
+    "kv-deferred",
+    "concurrency-deferred",
+    "dispatched",
+    "chunk-scheduled",
+    "decode-scheduled",
+    "budget-exhausted",
+    "decode-rotated-out",
+    "completed",
+    "rejected",
+    "cancelled",
+    "timeout",
+    "failed",
+)
+
+#: Every document schema, keyed by its ``"schema"`` string.  The schema
+#: checker iterates this to dispatch validation; keep descriptions short
+#: — they surface in ``check_trace_schema.py --help``-style output.
+SCHEMA_TABLE = {
+    PROFILE_SCHEMA: "time/energy attribution report",
+    BENCH_SCHEMA: "benchmark artifact with directional metrics",
+    ALERTS_SCHEMA: "SLO burn-rate incident timeline",
+    FLEET_SCHEMA: "fleet telemetry roll-up",
+    SKETCH_SCHEMA: "mergeable quantile sketch",
+    STEPS_SCHEMA: "per-step scheduler telemetry + decision log",
+}
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "BENCH_SCHEMA",
+    "ALERTS_SCHEMA",
+    "FLEET_SCHEMA",
+    "SKETCH_SCHEMA",
+    "STEPS_SCHEMA",
+    "DECISION_ACTIONS",
+    "SCHEMA_TABLE",
+]

@@ -55,7 +55,7 @@ from typing import Dict, Iterable, Optional
 from repro.errors import ReproError
 
 #: Schema identifier stamped into every serialized sketch.
-SKETCH_SCHEMA = "repro.sketch/v1"
+from repro.obs.schemas import SKETCH_SCHEMA  # noqa: E402 (constant table)
 
 #: Default relative accuracy (1% — p99 of a 10 s tail is within 100 ms).
 DEFAULT_ALPHA = 0.01

@@ -196,3 +196,71 @@ class TestQuantizeCommandCheckpoint:
                      "--output", q_path, "--scheme", "per-tensor"]) == 0
         target = load_model(float_path)
         assert len(load_quantized(target, q_path)) == 4 * 7
+
+
+class TestCliErrorPaths:
+    def test_fleet_zero_devices_is_usage_error(self, capsys):
+        assert main(["fleet", "--devices", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "fleet:" in err
+        assert "at least one device" in err
+
+    def test_monitor_bad_fault_rate_is_usage_error(self, capsys):
+        assert main(["monitor", "--transient-rate", "2.0"]) == 2
+        err = capsys.readouterr().err
+        assert "monitor:" in err
+        assert "transient_rate" in err
+
+    def test_explain_unknown_request_id(self, capsys):
+        assert main(["explain", "99999", "--batched"]) == 2
+        err = capsys.readouterr().err
+        assert "explain:" in err
+        assert "unknown request id" in err
+
+    def test_explain_missing_steplog_file(self, tmp_path, capsys):
+        assert main(["explain", "--steplog",
+                     str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert "explain:" in err
+        assert "cannot read" in err
+
+    def test_explain_invalid_steplog_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["explain", "--steplog", str(path)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_explain_empty_steplog_doc(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({}))
+        assert main(["explain", "--steplog", str(path)]) == 2
+        assert "expected schema" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_table_mode(self, capsys):
+        assert main(["explain", "--batched"]) == 0
+        out = capsys.readouterr().out
+        assert "Wait attribution" in out
+        assert "top blocker" in out
+
+    def test_single_request_narrative(self, capsys):
+        assert main(["explain", "7", "--batched"]) == 0
+        out = capsys.readouterr().out
+        assert "request 00007" in out
+        assert "decisions:" in out
+        assert "reconciliation:" in out
+
+    def test_steplog_out_roundtrip(self, tmp_path, capsys):
+        import json
+        from repro.obs import validate_steps_doc
+        path = tmp_path / "steps.json"
+        assert main(["explain", "--batched",
+                     "--steplog-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        validate_steps_doc(doc)
+        assert doc["n_steps"] > 0
+        # the written file feeds back through --steplog
+        assert main(["explain", "7", "--steplog", str(path)]) == 0
+        assert "request 00007" in capsys.readouterr().out

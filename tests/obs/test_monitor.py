@@ -262,3 +262,81 @@ class TestTimelineValidation:
         doc = self._doc()
         doc["incidents"].append(dict(overlapping, source="other-device"))
         validate_timeline_doc(doc)
+
+
+class TestStepTelemetry:
+    def _step(self, index, queued, batch_tokens=64, n_inflight=2,
+              utilization=0.25):
+        return {"index": index, "start_s": float(index),
+                "end_s": float(index) + 1.0, "n_inflight": n_inflight,
+                "batch_tokens": batch_tokens, "prefill_tokens": 32,
+                "decode_tokens": batch_tokens - 32,
+                "budget_utilization": utilization,
+                "queued_ids": queued, "queue_depths": {}, "items": []}
+
+    def test_observe_step_feeds_sketches(self):
+        monitor = SloMonitor([AVAIL])
+        monitor.observe_step(self._step(0, [1], batch_tokens=100))
+        monitor.observe_step(self._step(1, [1, 2], batch_tokens=200))
+        assert monitor.n_steps == 2
+        assert monitor.sketches["batch_tokens/step"].mean == 150.0
+        assert monitor.sketches["queue_depth/step"].mean == 1.5
+        assert monitor.sketches["inflight/step"].count == 2
+        assert monitor.sketches["budget_utilization/step"].count == 2
+
+    def test_decision_counts(self):
+        from repro.obs import Decision
+        monitor = SloMonitor([AVAIL])
+        for action in ("admitted", "chunk-scheduled", "chunk-scheduled"):
+            monitor.observe_decision(Decision(
+                t_s=0.0, request_id=0, action=action, tier="x"))
+        assert monitor.decision_counts() == {"admitted": 1,
+                                             "chunk-scheduled": 2}
+
+    def test_starvation_detector(self):
+        monitor = SloMonitor([AVAIL])
+        for i in range(10):
+            monitor.observe_step(self._step(i, [5]))
+        monitor.observe_step(self._step(10, []))
+        assert monitor.starved_requests(min_steps=8) == [(5, 10)]
+        assert monitor.starved_requests(min_steps=11) == []
+        with pytest.raises(MonitorError, match="min_steps"):
+            monitor.starved_requests(min_steps=0)
+
+    def test_scheduler_summary_empty_stream(self):
+        summary = SloMonitor([AVAIL]).scheduler_summary()
+        assert summary["n_steps"] == 0
+        assert summary["decision_counts"] == {}
+        assert summary["starved"] == []
+
+    def test_scheduler_summary_blocks(self):
+        from repro.obs import STARVATION_MIN_STEPS
+        monitor = SloMonitor([AVAIL])
+        for i in range(STARVATION_MIN_STEPS):
+            monitor.observe_step(self._step(i, [3]))
+        summary = monitor.scheduler_summary()
+        assert summary["n_steps"] == STARVATION_MIN_STEPS
+        assert summary["batch_tokens"]["mean"] == 64.0
+        assert summary["queue_depth"]["max"] == 1.0
+        assert summary["budget_utilization"]["mean"] == 0.25
+        assert summary["starved"] == [
+            {"request_id": 3, "streak_steps": STARVATION_MIN_STEPS}]
+
+    def test_attach_registers_step_observer(self):
+        from repro.core import BatchConfig, EngineConfig, LlmService
+
+        # attach() must hook the step stream: a batched run feeds the
+        # monitor's step sketches and decision counts live
+        monitor = SloMonitor([AVAIL])
+        service = LlmService(
+            "Redmi K70 Pro", EngineConfig(), scheduler="priority",
+            batching=BatchConfig(max_batch_tokens=256,
+                                 max_concurrency=4))
+        monitor.attach(service)
+        service.enqueue("Qwen1.5-1.8B", 96, 4, arrival_s=0.0)
+        service.enqueue("Qwen1.5-1.8B", 64, 4, arrival_s=0.0)
+        service.run()
+        assert monitor.n_steps == len(service.steps) > 0
+        mix = monitor.decision_counts()
+        assert mix.get("chunk-scheduled", 0) > 0
+        assert mix.get("completed", 0) == 2
