@@ -218,3 +218,52 @@ if ! diff -u "$out1" "$noop1"; then
 fi
 echo "OK: golden snapshot is unchanged with step logging attached" \
      "(observation is a no-op)"
+
+# The parallel fleet fan-out is pure plumbing: fanning the per-device
+# pipelines across a worker pool (and any submission order of the same
+# specs) must reproduce the sequential report byte-for-byte, on both
+# the legacy 3-device golden and a splitmix-seeded fleet.
+par1=$(mktemp)
+par2=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$trace1" "$trace2" "$prof1" "$prof2" \
+     "$fleet1" "$fleet2" "$seq1" "$seq2" "$seq3" "$steps1" "$steps2" \
+     "$noop1" "$par1" "$par2"' EXIT
+
+python -c 'from repro.eval import fleet_golden_json
+print(fleet_golden_json(seed=42, workers=4))' > "$par1"
+if ! cmp -s "$fleet1" "$par1"; then
+    echo "FAIL: parallel fleet report (workers=4) differs from" \
+         "sequential" >&2
+    exit 1
+fi
+
+splitmix_fleet() {
+    python -c "import json
+from repro.eval import default_fleet, fleet_report
+specs = default_fleet(n_devices=4, seed=42)
+print(json.dumps(fleet_report(specs=specs, seed=42, workers=$1)))"
+}
+
+splitmix_fleet 1 > "$par2"
+splitmix_fleet 3 | cmp -s "$par2" - || {
+    echo "FAIL: splitmix fleet report changes with worker count" >&2
+    exit 1
+}
+echo "OK: parallel fleet fan-out is byte-identical to sequential" \
+     "(legacy golden workers=4, splitmix workers=3)"
+
+# The vectorized simulator fast path must make exactly the choices of
+# the kept-verbatim reference implementation on the self-benchmark
+# graphs (the speedup suite's correctness precondition).
+python -c '
+from repro.eval.simbench import SIM_SCENARIOS, synthetic_task_graph
+from repro.hw.sim import FifoPolicy, ReferenceSimulator, Simulator
+
+for scenario in SIM_SCENARIOS:
+    procs, tasks = synthetic_task_graph(scenario)
+    fast = Simulator(procs).run(tasks, FifoPolicy())
+    ref = ReferenceSimulator(procs).run(tasks, FifoPolicy())
+    assert fast.events == ref.events, scenario.name
+print("OK: vectorized simulator matches the reference on",
+      len(SIM_SCENARIOS), "benchmark graph shapes")
+'

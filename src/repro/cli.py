@@ -27,6 +27,7 @@ from repro.eval import (
     service_tier_comparison,
     ablation_equivalent_shapes,
     ablation_hot_channels,
+    dma_overlap,
     ablation_scheduler,
     archive,
     future_hardware,
@@ -74,6 +75,8 @@ EXPERIMENTS: Dict[str, tuple] = {
                 ablation_hot_channels),
     "abl-shapes": ("ablation: equivalent-shape optimization",
                    ablation_equivalent_shapes),
+    "dma-overlap": ("hw model: double/quad-buffered weight streaming",
+                    dma_overlap),
     "future-hw": ("§5 what-if: faster NPUs", future_hardware),
     "future-fp16": ("§5 what-if: mixed-precision NPU", mixed_precision_npu),
     "tri-proc": ("extension: tri-processor execution", tri_processor),
@@ -355,8 +358,10 @@ def cmd_fleet(args) -> int:
 
     try:
         report = fleet_report(
-            specs=default_fleet(args.devices, seed=args.seed),
+            specs=default_fleet(args.devices, seed=args.seed,
+                                seeding=args.seeding),
             seed=args.seed,
+            workers=args.workers,
         )
         validate_timeline_doc(report["alerts"])
     except ReproError as exc:
@@ -610,6 +615,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--devices", type=int, default=3,
                        help="fleet size (cycles flagship/mid/budget)")
     fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for the device fan-out "
+                            "(report is byte-identical for any value)")
+    fleet.add_argument("--seeding", choices=("legacy", "splitmix"),
+                       default="legacy",
+                       help="per-device seed derivation; 'legacy' is the "
+                            "seed+100*i ladder the 3-device goldens pin, "
+                            "'splitmix' decorrelates large fleets")
     fleet.add_argument("--report-out", default=None,
                        help="write the repro.fleet/v1 report JSON")
     fleet.add_argument("--alerts-out", default=None,

@@ -407,6 +407,7 @@ class LlmService:
         if cfg.name not in self._engines:
             engine = LlmNpuEngine(cfg, self.device, self.config,
                                   fault_injector=self.fault_injector)
+            engine.builder.attach_metrics(self.metrics_registry)
             prep = engine.preparation_s()
             self._engines[cfg.name] = engine
             self._prepared[cfg.name] = prep

@@ -249,6 +249,41 @@ def tri_processor(
     return table
 
 
+def dma_overlap(
+    model="Qwen1.5-1.8B",
+    device="Redmi K70 Pro",
+    chunk_len: int = 256,
+    buffer_depths: Sequence[int] = (1, 2, 4),
+) -> Table:
+    """DMA/compute-overlap model (double/quad-buffered weight streaming)
+    vs the legacy per-profile combine rule, on one prefill chunk's NPU
+    subgraphs.  ``buffers=1`` serializes streaming and arithmetic; deeper
+    pools converge on the ideal-overlap limit the default ``"max"``
+    combine assumes."""
+    from repro.graph.builder import BuildOptions, GraphBuilder
+    from repro.hw.dma import DmaConfig
+    cfg = get_model_config(model) if isinstance(model, str) else model
+    dev = get_device(device) if isinstance(device, str) else device
+    legacy = GraphBuilder(cfg, dev).build_chunk(0, chunk_len)
+    legacy_ms = legacy.npu_latency_s() * 1e3
+    table = Table(
+        title=f"DMA/compute overlap — {cfg.name}, chunk={chunk_len}",
+        columns=["weight streaming", "NPU chunk ms", "vs ideal overlap"],
+    )
+    table.add_row("ideal (legacy 'max' combine)", legacy_ms, "1.00x")
+    for depth in buffer_depths:
+        options = BuildOptions(dma=DmaConfig(buffers=depth))
+        plan = GraphBuilder(cfg, dev, options).build_chunk(0, chunk_len)
+        ms = plan.npu_latency_s() * 1e3
+        label = {1: "serial (no overlap)", 2: "double-buffered",
+                 4: "quad-buffered"}.get(depth, f"{depth}-deep pipeline")
+        table.add_row(label, ms, f"{ms / legacy_ms:.2f}x")
+    table.add_note("double buffering already hides nearly all weight "
+                   "streaming; the residual is the pipeline-fill ramp "
+                   "(the first tile's DMA cannot overlap anything)")
+    return table
+
+
 def future_hardware(
     model="Qwen1.5-1.8B",
     device="Redmi K70 Pro",

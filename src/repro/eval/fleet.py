@@ -123,12 +123,55 @@ _FLEET_TEMPLATES: Tuple[Tuple[Union[str, SocSpec], float, float], ...] = (
 )
 
 
-def default_fleet(n_devices: int = 3,
-                  seed: int = 42) -> Tuple[FleetDeviceSpec, ...]:
-    """A heterogeneous fleet cycling flagship / mid-tier / budget."""
+_SPLITMIX_MASK = (1 << 64) - 1
+
+
+def _splitmix64(state: int) -> Tuple[int, int]:
+    """One step of the SplitMix64 stream: ``(next_state, output)``."""
+    state = (state + 0x9E3779B97F4A7C15) & _SPLITMIX_MASK
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _SPLITMIX_MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _SPLITMIX_MASK
+    return state, z ^ (z >> 31)
+
+
+def seed_stream(seed: int, n: int) -> List[int]:
+    """``n`` decorrelated 31-bit seeds from one fleet seed.
+
+    The legacy ``seed + 100 * i`` ladder keeps per-device RNG streams on
+    arithmetic progressions — fine for 3 devices, visibly correlated
+    fault draws at 1000 (nearby devices share low-bit structure).  A
+    SplitMix64 walk gives every device an avalanche-mixed seed while
+    staying a pure function of ``(seed, i)``.
+    """
+    state = seed & _SPLITMIX_MASK
+    out = []
+    for _ in range(n):
+        state, z = _splitmix64(state)
+        out.append(z % (1 << 31))
+    return out
+
+
+def default_fleet(n_devices: int = 3, seed: int = 42,
+                  seeding: str = "splitmix") -> Tuple[FleetDeviceSpec, ...]:
+    """A heterogeneous fleet cycling flagship / mid-tier / budget.
+
+    ``seeding`` selects the per-device seed derivation: ``"splitmix"``
+    (default — decorrelated SplitMix64 stream) or ``"legacy"`` (the
+    original ``seed + 100 * i`` ladder, which the committed 3-device
+    golden artifacts pin).
+    """
     from repro.errors import ReproError
     if n_devices < 1:
         raise ReproError("fleet needs at least one device")
+    if seeding not in ("splitmix", "legacy"):
+        raise ReproError(
+            f"seeding must be 'splitmix' or 'legacy', got {seeding!r}"
+        )
+    if seeding == "splitmix":
+        seeds = seed_stream(seed, n_devices)
+    else:
+        seeds = [seed + 100 * i for i in range(n_devices)]
     specs = []
     for i in range(n_devices):
         device, transient, permanent = _FLEET_TEMPLATES[
@@ -138,7 +181,7 @@ def default_fleet(n_devices: int = 3,
         specs.append(FleetDeviceSpec(
             name=f"dev{i:02d}-{slug}",
             device=device,
-            seed=seed + 100 * i,
+            seed=seeds[i],
             transient_rate=transient,
             permanent_rate=permanent,
         ))
@@ -187,8 +230,7 @@ def run_step_probe(spec: FleetDeviceSpec,
         steplog=steplog,
     )
     if monitor is not None:
-        for step in steplog.steps:
-            monitor.observe_step(step)
+        monitor.observe_steps(steplog.steps)
         for decision in steplog.decisions:
             monitor.observe_decision(decision)
     return service, steplog
@@ -267,34 +309,25 @@ def merged_alerts(specs: Sequence[FleetDeviceSpec],
     }
 
 
-def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
-                 seed: int = 42,
-                 slos: Sequence[SloSpec] = FLEET_SLOS,
-                 rules: Sequence[BurnRateRule] = DEFAULT_RULES) -> dict:
-    """Run the fleet and aggregate into a ``repro.fleet/v1`` report."""
-    if specs is None:
-        specs = default_fleet(seed=seed)
-    specs = tuple(specs)
-    services, monitors = [], []
-    for spec in specs:
-        service, monitor = run_device(spec, slos=slos, rules=rules)
-        run_step_probe(spec, monitor)
-        services.append(service)
-        monitors.append(monitor)
-    sketches = merged_sketches(monitors)
-    alerts = merged_alerts(specs, monitors, slos=slos, rules=rules)
-    devices = []
-    for spec, service, monitor in zip(specs, services, monitors):
-        m = service.metrics()
-        timeline_incidents = [
-            inc for inc in alerts["incidents"] if inc["source"] == spec.name
-        ]
-        ttfts = sorted(r.ttft_s for r in service.requests
-                       if r.status == "completed"
-                       and r.ttft_s is not None)
-        itls = [r.itl_s for r in service.requests
-                if r.status == "completed" and r.itl_s is not None]
-        devices.append({
+def _device_payload(args) -> dict:
+    """Run one device end-to-end and reduce it to a plain-dict payload.
+
+    This is the multiprocessing work unit: everything the fleet merge
+    needs — the per-device report record, serialized sketches, compliance
+    counts, the incident timeline, and scheduler telemetry — as
+    picklable primitives, so the parent never ships live monitors across
+    process boundaries.
+    """
+    spec, slos, rules = args
+    service, monitor = run_device(spec, slos=slos, rules=rules)
+    run_step_probe(spec, monitor)
+    m = service.metrics()
+    ttfts = sorted(r.ttft_s for r in service.requests
+                   if r.status == "completed" and r.ttft_s is not None)
+    itls = [r.itl_s for r in service.requests
+            if r.status == "completed" and r.itl_s is not None]
+    return {
+        "record": {
             "name": spec.name,
             "device": spec.device_name,
             "seed": spec.seed,
@@ -306,9 +339,6 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
             "n_timeout": m.n_timeout,
             "n_failed": m.n_failed,
             "n_faults": monitor.n_faults,
-            "n_incidents": len(timeline_incidents),
-            "n_firing": sum(1 for inc in timeline_incidents
-                            if inc["firing_s"] is not None),
             "ttft_p50_s": (float(np.percentile(ttfts, 50))
                            if ttfts else None),
             "ttft_p95_s": (float(np.percentile(ttfts, 95))
@@ -317,10 +347,148 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
             "goodput_rps": float(goodput_rps(service.requests,
                                              BATCHING_TTFT_SLO)),
             "scheduler": monitor.scheduler_summary(),
+        },
+        "sketches": {key: sketch.to_dict()
+                     for key, sketch in monitor.sketches.items()},
+        "compliance": monitor.compliance(),
+        "timeline": monitor.timeline(source=spec.name),
+        "decision_counts": monitor.decision_counts(),
+        "n_steps": monitor.n_steps,
+    }
+
+
+def _device_payloads(specs: Sequence[FleetDeviceSpec],
+                     slos: Sequence[SloSpec],
+                     rules: Sequence[BurnRateRule],
+                     workers: int = 1) -> List[dict]:
+    """Per-device payloads, in ``specs`` order, optionally fanned out."""
+    from repro.errors import ReproError
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+    items = [(spec, tuple(slos), tuple(rules)) for spec in specs]
+    workers = min(workers, len(items))
+    if workers <= 1:
+        return [_device_payload(item) for item in items]
+    import multiprocessing
+    ctx = multiprocessing.get_context("fork")
+    chunksize = max(1, len(items) // (workers * 4))
+    with ctx.Pool(processes=workers) as pool:
+        # Pool.map returns results in submission order, so the payload
+        # list — and everything merged from it — is independent of
+        # worker scheduling.
+        return pool.map(_device_payload, items, chunksize=chunksize)
+
+
+def _merge_payload_sketches(payloads: Sequence[dict]
+                            ) -> Dict[str, QuantileSketch]:
+    """Merge serialized per-device sketches key-by-key (exact: integer
+    buckets and Fraction sums, so merge order cannot change a bit)."""
+    merged: Dict[str, QuantileSketch] = {}
+    for payload in payloads:
+        for key, doc in payload["sketches"].items():
+            sketch = QuantileSketch.from_dict(doc)
+            if key in merged:
+                merged[key].merge(sketch)
+            else:
+                merged[key] = sketch
+    return merged
+
+
+def _merge_payload_compliance(slos: Sequence[SloSpec],
+                              payloads: Sequence[dict]) -> List[dict]:
+    """Fleet compliance from payload count rows (see
+    :func:`merged_compliance`)."""
+    out = []
+    for i, slo in enumerate(slos):
+        total = sum(p["compliance"][i]["n_events"] for p in payloads)
+        bad = sum(p["compliance"][i]["n_bad"] for p in payloads)
+        good_fraction = 1.0 if total == 0 else 1.0 - bad / total
+        record = slo.to_dict()
+        record.update({
+            "n_events": total,
+            "n_bad": bad,
+            "good_fraction": good_fraction,
+            "budget_burned": (0.0 if total == 0
+                              else (bad / total) / slo.error_budget),
+            "met": good_fraction >= slo.target,
         })
+        out.append(record)
+    return out
+
+
+def _merge_payload_alerts(payloads: Sequence[dict],
+                          slos: Sequence[SloSpec],
+                          rules: Sequence[BurnRateRule]) -> dict:
+    """Fleet ``repro.alerts/v1`` from payload timelines (see
+    :func:`merged_alerts`)."""
+    incidents: List[dict] = []
+    starts, ends = [], []
+    n_requests = n_faults = 0
+    for payload in payloads:
+        timeline = payload["timeline"]
+        source = timeline["source"]
+        for incident in timeline["incidents"]:
+            incidents.append({**incident, "source": source})
+        if timeline["n_request_events"] or timeline["n_fault_events"]:
+            starts.append(timeline["start_s"])
+            ends.append(timeline["end_s"])
+        n_requests += timeline["n_request_events"]
+        n_faults += timeline["n_fault_events"]
+    incidents.sort(key=lambda inc: (inc["pending_s"], inc["source"],
+                                    inc["slo"], inc["rule"]))
+    return {
+        "schema": ALERTS_SCHEMA,
+        "source": "fleet",
+        "start_s": min(starts) if starts else 0.0,
+        "end_s": max(ends) if ends else 0.0,
+        "n_request_events": n_requests,
+        "n_fault_events": n_faults,
+        "slos": _merge_payload_compliance(slos, payloads),
+        "rules": [rule.to_dict() for rule in rules],
+        "incidents": incidents,
+    }
+
+
+def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
+                 seed: int = 42,
+                 slos: Sequence[SloSpec] = FLEET_SLOS,
+                 rules: Sequence[BurnRateRule] = DEFAULT_RULES,
+                 workers: int = 1) -> dict:
+    """Run the fleet and aggregate into a ``repro.fleet/v1`` report.
+
+    ``workers > 1`` fans the devices out over a fork-based process pool.
+    The report is byte-identical for every worker count and for every
+    permutation of ``specs``: devices are canonicalized to ``(name,
+    seed)`` order before running, each device reduces to a plain-dict
+    payload, and all merges are either exact (integer counts, Fraction
+    sketch sums) or performed in canonical device order.
+    """
+    if specs is None:
+        specs = default_fleet(seed=seed)
+    specs = tuple(sorted(specs, key=lambda s: (s.name, s.seed)))
+    payloads = _device_payloads(specs, slos, rules, workers=workers)
+    sketches = _merge_payload_sketches(payloads)
+    alerts = _merge_payload_alerts(payloads, slos, rules)
+    devices = []
+    for spec, payload in zip(specs, payloads):
+        timeline_incidents = [
+            inc for inc in alerts["incidents"] if inc["source"] == spec.name
+        ]
+        base = payload["record"]
+        record = {key: base[key] for key in (
+            "name", "device", "seed", "transient_rate", "permanent_rate",
+            "n_requests", "n_completed", "n_rejected", "n_timeout",
+            "n_failed", "n_faults")}
+        record["n_incidents"] = len(timeline_incidents)
+        record["n_firing"] = sum(1 for inc in timeline_incidents
+                                 if inc["firing_s"] is not None)
+        for key in ("ttft_p50_s", "ttft_p95_s", "mean_itl_s",
+                    "goodput_rps", "scheduler"):
+            record[key] = base[key]
+        devices.append(record)
     fleet_decisions: Dict[str, int] = {}
-    for monitor in monitors:
-        for action, count in monitor.decision_counts().items():
+    for payload in payloads:
+        for action, count in payload["decision_counts"].items():
             fleet_decisions[action] = fleet_decisions.get(action, 0) \
                 + count
     return {
@@ -335,23 +503,32 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
         "sketches": {key: sketches[key].to_dict()
                      for key in sorted(sketches)},
         "scheduler": {
-            "n_steps": sum(m.n_steps for m in monitors),
+            "n_steps": sum(p["n_steps"] for p in payloads),
             "decision_counts": dict(sorted(fleet_decisions.items())),
         },
         "alerts": alerts,
     }
 
 
-def fleet_golden_json(seed: int = 42) -> str:
-    """Canonical fleet report JSON — the determinism tripwire."""
-    return json.dumps(fleet_report(seed=seed), sort_keys=True)
+def fleet_golden_json(seed: int = 42, workers: int = 1) -> str:
+    """Canonical fleet report JSON — the determinism tripwire.
+
+    Pinned to the legacy seed ladder: this string is what the committed
+    golden artifacts and ``scripts/check_determinism.sh`` compare, so it
+    must not move when the default fleet seeding does.
+    """
+    specs = default_fleet(seed=seed, seeding="legacy")
+    return json.dumps(fleet_report(specs=specs, seed=seed,
+                                   workers=workers), sort_keys=True)
 
 
 def fleet_alerts_json(seed: int = 42,
                       indent: Optional[int] = None) -> str:
-    """The default fleet's merged ``repro.alerts/v1`` document."""
-    return json.dumps(fleet_report(seed=seed)["alerts"], indent=indent,
-                      sort_keys=True)
+    """The default fleet's merged ``repro.alerts/v1`` document (legacy
+    seeding, matching the golden report)."""
+    specs = default_fleet(seed=seed, seeding="legacy")
+    report = fleet_report(specs=specs, seed=seed)
+    return json.dumps(report["alerts"], indent=indent, sort_keys=True)
 
 
 # -- the seeded fault-storm scenario (the `monitor` subcommand) ---------------
@@ -498,11 +675,16 @@ def fleet_scheduler_table(report: dict) -> Table:
     return table
 
 
-def fleet_slo(n_devices: int = 3, seed: int = 42):
+def fleet_slo(n_devices: int = 3, seed: int = 42,
+              seeding: str = "legacy", workers: int = 1):
     """Experiment driver: fleet percentiles + per-device latency
-    (TTFT/ITL/goodput) + compliance + incidents."""
-    report = fleet_report(specs=default_fleet(n_devices, seed=seed),
-                          seed=seed)
+    (TTFT/ITL/goodput) + compliance + incidents.
+
+    Defaults to the legacy seed ladder — the committed ``BENCH_fleet_*``
+    goldens pin this experiment's 3-device numbers."""
+    report = fleet_report(
+        specs=default_fleet(n_devices, seed=seed, seeding=seeding),
+        seed=seed, workers=workers)
     return (fleet_percentile_table(report),
             fleet_latency_table(report),
             fleet_compliance_table(report),

@@ -1,0 +1,255 @@
+"""Self-benchmarks of the simulation substrate itself (meta-performance).
+
+Every other driver in ``repro.eval`` regenerates a *paper* result; this
+module measures how fast the reproduction's own machinery runs — the
+discrete-event simulator core (events/second), the quantized-linear hot
+path (tokens/second) and the fleet harness (devices/second).  It exists
+to gate the vectorized fast paths: ``Simulator`` must stay at least
+:data:`SIM_SPEEDUP_FLOOR` times faster than the kept-verbatim
+:class:`~repro.hw.sim.ReferenceSimulator` *while producing byte-identical
+traces* — both halves are checked here, in the same run.
+
+Wall-clock throughput numbers are machine-dependent, so they are
+published under ``info`` column names (never gated by
+``llmnpu bench-compare``).  The gated metrics are deterministic:
+
+* ``speedup floor x`` — the contract value.  When the measured speedup
+  clears the floor the cell is exactly :data:`SIM_SPEEDUP_FLOOR`
+  (byte-stable against the committed golden); when it does not, the
+  measured value is recorded so the artifact comparison fails alongside
+  the benchmark's own assertion.
+* task/token/device counts — pure functions of the scenario seeds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.eval.report import Table
+
+#: Minimum vectorized-vs-reference sim-core speedup the gate enforces.
+SIM_SPEEDUP_FLOOR = 3.0
+
+
+def _best_of(fn: Callable[[], object],
+             repeats: int) -> Tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+# -- sim core -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimScenario:
+    """One synthetic task-graph shape for the sim-core benchmark."""
+
+    name: str
+    n_tasks: int
+    dep_window: int  #: deps drawn from the preceding ``dep_window`` tasks
+    max_fanin: int   #: 0..max_fanin deps per task (0 => independent)
+    gated: bool      #: whether this scenario must clear the speedup floor
+
+
+#: The benchmarked shapes.  ``wide``/``mixed`` stress the ready-list scan
+#: that the vectorized dispatcher replaces and carry the speedup gate; a
+#: pure dependency ``chain`` keeps the ready list at one entry (little for
+#: vectorization to win) and is recorded for information only.
+SIM_SCENARIOS: Tuple[SimScenario, ...] = (
+    SimScenario("wide", n_tasks=2000, dep_window=0, max_fanin=0, gated=True),
+    SimScenario("mixed", n_tasks=2000, dep_window=256, max_fanin=2,
+                gated=True),
+    SimScenario("chain", n_tasks=1000, dep_window=1, max_fanin=1,
+                gated=False),
+)
+
+
+def synthetic_task_graph(scenario: SimScenario, n_procs: int = 3,
+                         seed: int = 0):
+    """Deterministic task graph exercising the dispatch hot path."""
+    from repro.hw.sim import Task
+
+    rng = np.random.default_rng(seed)
+    procs = [f"proc{i}" for i in range(n_procs)]
+    assignments = rng.integers(0, n_procs, size=scenario.n_tasks)
+    durations = rng.uniform(1e-5, 1e-3, size=scenario.n_tasks)
+    tasks = []
+    for i in range(scenario.n_tasks):
+        deps: Tuple[str, ...] = ()
+        if i > 0 and scenario.max_fanin > 0 and scenario.dep_window > 0:
+            fanin = int(rng.integers(0, scenario.max_fanin + 1))
+            if scenario.dep_window == 1 and scenario.max_fanin == 1:
+                fanin = 1  # a true chain, never a disconnected segment
+            if fanin:
+                lo = max(0, i - scenario.dep_window)
+                picks = rng.integers(lo, i, size=fanin)
+                deps = tuple(sorted({f"t{int(j)}" for j in picks}))
+        tasks.append(Task(f"t{i}", procs[int(assignments[i])],
+                          float(durations[i]), deps))
+    return procs, tasks
+
+
+def sim_core_speed(repeats: int = 3, seed: int = 0) -> Table:
+    """Events/second: vectorized ``Simulator`` vs ``ReferenceSimulator``.
+
+    Also re-verifies, on every benchmarked graph, that the two produce
+    identical traces — the speedup is only meaningful if the fast path
+    never changes a simulated result.
+    """
+    from repro.hw.sim import FifoPolicy, ReferenceSimulator, Simulator
+
+    table = Table(
+        title="sim core: vectorized dispatcher vs reference",
+        columns=["scenario", "tasks", "ref keps", "fast keps",
+                 "measured x", "speedup floor x"],
+    )
+    for scenario in SIM_SCENARIOS:
+        procs, tasks = synthetic_task_graph(scenario, seed=seed)
+        ref_s, ref_trace = _best_of(
+            lambda: ReferenceSimulator(procs).run(tasks, FifoPolicy()),
+            repeats,
+        )
+        fast_s, fast_trace = _best_of(
+            lambda: Simulator(procs).run(tasks, FifoPolicy()),
+            repeats,
+        )
+        if fast_trace.events != ref_trace.events:
+            raise ReproError(
+                f"sim scenario {scenario.name!r}: vectorized trace "
+                f"diverged from the reference simulator"
+            )
+        speedup = ref_s / fast_s
+        gate: Optional[float] = None
+        if scenario.gated:
+            gate = (SIM_SPEEDUP_FLOOR if speedup >= SIM_SPEEDUP_FLOOR
+                    else speedup)
+        table.add_row(
+            scenario.name, scenario.n_tasks,
+            len(tasks) / ref_s / 1e3, len(tasks) / fast_s / 1e3,
+            speedup, gate,
+        )
+    table.add_note(
+        "keps = thousand simulated task events per wall second "
+        "(machine-dependent, informational)"
+    )
+    table.add_note(
+        f"'speedup floor x' is the gated contract: exactly "
+        f"{SIM_SPEEDUP_FLOOR:g} while the measured speedup clears the "
+        f"floor; 'chain' is ungated (ready list of one)"
+    )
+    return table
+
+
+def min_gated_sim_speedup(table: Table) -> float:
+    """Smallest measured speedup across the gated sim scenarios."""
+    speedups = [row[4] for row, scenario in zip(table.rows, SIM_SCENARIOS)
+                if scenario.gated]
+    if not speedups:
+        raise ReproError("no gated sim scenarios in table")
+    return float(min(speedups))
+
+
+# -- quant hot path -----------------------------------------------------------
+
+
+def quant_speed(tokens: int = 2048, width: int = 512, out_features: int = 512,
+                repeats: int = 3, seed: int = 0) -> Table:
+    """Tokens/second through the shadow-outlier quantized linear.
+
+    Times the full Eq. 1 split — INT8 NPU half plus CPU shadow
+    compensation plus the (vectorized) hot-channel accounting — and the
+    shadow-disabled NPU-only path for contrast.
+    """
+    from repro.quant.shadow import ShadowOutlierLinear
+
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(0.0, 0.02, size=(out_features, width)).astype(
+        np.float32
+    )
+    x = rng.normal(0.0, 1.0, size=(tokens, width)).astype(np.float32)
+    hot = np.sort(rng.choice(width, size=max(4, width // 64), replace=False))
+    x[:, hot] *= 8.0  # a few loud channels, as calibration would find
+    act_scale = float(np.percentile(np.abs(x).max(axis=0), 99.0)) / 127.0
+
+    table = Table(
+        title="quant hot path: shadow-outlier linear",
+        columns=["path", "tokens", "width", "outlier cols", "ktok rate"],
+    )
+    for label, enabled in (("shadow", True), ("npu-only", False)):
+        layer = ShadowOutlierLinear(
+            weight, act_scale, shadow_enabled=enabled,
+            hot_channels=hot if enabled else None, name=f"bench-{label}",
+        )
+        wall_s, _ = _best_of(lambda: layer(x), repeats)
+        table.add_row(
+            label, tokens, width,
+            int(layer.outlier_columns(x).size),
+            tokens / wall_s / 1e3,
+        )
+    table.add_note(
+        "ktok rate = thousand activation rows per wall second "
+        "(machine-dependent, informational); token/width/outlier "
+        "counts are deterministic"
+    )
+    return table
+
+
+# -- fleet harness ------------------------------------------------------------
+
+
+def fleet_speed(n_devices: int = 4, seed: int = 42,
+                workers: int = 1) -> Table:
+    """Devices/second through the full fleet device pipeline.
+
+    Each device runs the seeded faulty workload plus the batched step
+    probe — the unit of work the 1000-device fleet fans out — so this
+    rate directly predicts large-fleet wall-clock.
+    """
+    from repro.eval.fleet import (
+        FLEET_SLOS,
+        _device_payloads,
+        default_fleet,
+    )
+    from repro.obs import DEFAULT_RULES
+
+    specs = default_fleet(n_devices=n_devices, seed=seed)
+    wall_s, payloads = _best_of(
+        lambda: _device_payloads(specs, FLEET_SLOS, DEFAULT_RULES,
+                                 workers=workers),
+        repeats=1,
+    )
+    table = Table(
+        title="fleet harness: devices per second",
+        columns=["fleet", "devices", "workers", "total steps",
+                 "device rate"],
+    )
+    table.add_row(
+        "splitmix", n_devices, workers,
+        sum(p["n_steps"] for p in payloads),
+        n_devices / wall_s,
+    )
+    table.add_note(
+        "device rate = devices fully simulated per wall second "
+        "(machine-dependent, informational); step counts are "
+        "deterministic"
+    )
+    return table
+
+
+def sim_speed_report(repeats: int = 3) -> Tuple[Table, Table, Table]:
+    """All three self-benchmarks, ready for one ``BENCH_sim_speed`` artifact."""
+    return (sim_core_speed(repeats=repeats), quant_speed(repeats=repeats),
+            fleet_speed())

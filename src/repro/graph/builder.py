@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import GraphError
+from repro.hw.dma import DmaConfig
 from repro.hw.latency import (
     NPU_GRAPH_NODE_OVERHEAD_S,
     MatMulShape,
@@ -72,6 +73,10 @@ class BuildOptions:
     per_group: bool = False
     group_size: int = 32
     equivalent_shapes: bool = True
+    #: Opt-in explicit DMA/compute-overlap model for NPU weight streaming
+    #: (:mod:`repro.hw.dma`).  ``None`` keeps the legacy per-profile
+    #: ``combine`` rule — all golden artifacts are built with ``None``.
+    dma: Optional[DmaConfig] = None
 
     def __post_init__(self) -> None:
         if self.float_backend not in ("cpu", "gpu", "npu"):
@@ -101,8 +106,36 @@ class ChunkPlan:
         return sum(s.latency_s for s in self.subgraphs if not s.is_npu)
 
 
+#: Process-wide graph-cache telemetry (all builders), for
+#: :func:`graph_cache_stats`.  Per-registry counters are attached with
+#: :meth:`GraphBuilder.attach_metrics`.
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def graph_cache_stats() -> Dict[str, int]:
+    """Process-wide chunk-plan cache hit/miss counts."""
+    return {"hits": _CACHE_HITS, "misses": _CACHE_MISSES}
+
+
+def reset_graph_cache_stats() -> None:
+    global _CACHE_HITS, _CACHE_MISSES
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
 class GraphBuilder:
-    """Computes subgraph latencies for a (model, device, options) triple."""
+    """Computes subgraph latencies for a (model, device, options) triple.
+
+    Chunk plans are memoized per builder: within one builder the
+    (config, device, options) triple is fixed, so a plan is a pure
+    function of ``(chunk_index, chunk_len, shadow_profiles)`` — and the
+    step loop asks for the same shapes over and over (every request
+    replays the same chunk ladder).  Cache hits return a shallow copy
+    (fresh ``subgraphs`` list / ``shadows`` dict over shared frozen
+    specs), so callers may rearrange a plan without corrupting the
+    cache.
+    """
 
     def __init__(self, config: ModelConfig, device: SocSpec,
                  options: Optional[BuildOptions] = None):
@@ -113,6 +146,13 @@ class GraphBuilder:
             self.options.float_backend
         ]
         self.npu: ProcessorSpec = device.npu
+        self._plan_cache: Dict[Tuple, ChunkPlan] = {}
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror cache hits/misses into ``graph_cache_{hits,misses}_total``
+        counters of a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        self._metrics = registry
 
     # -- NPU linear costs ---------------------------------------------------
 
@@ -123,12 +163,16 @@ class GraphBuilder:
         subgraph is one pre-built QNN graph dispatched once)."""
         shape = MatMulShape(m, k, n)
         if self.options.per_group:
+            # The Fig. 4 decomposition dominates here; the skinny-k
+            # sub-MatMuls leave nothing for weight streaming to hide, so
+            # the per-group path keeps the legacy combine model.
             base = per_group_matmul_latency(
                 self.npu, shape, self.options.group_size,
                 self.options.weight_dtype,
             )
         else:
-            base = matmul_latency(self.npu, shape, self.options.weight_dtype)
+            base = matmul_latency(self.npu, shape, self.options.weight_dtype,
+                                  dma=self.options.dma)
         if self.options.equivalent_shapes:
             base /= equivalent_shape_gain(m)
         if not first_in_subgraph:
@@ -277,6 +321,23 @@ class GraphBuilder:
             raise GraphError(
                 f"invalid chunk index {chunk_index} / length {chunk_len}"
             )
+        global _CACHE_HITS, _CACHE_MISSES
+        key = (
+            chunk_index, chunk_len,
+            None if shadow_profiles is None
+            else tuple(sorted(shadow_profiles.items())),
+        )
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            _CACHE_HITS += 1
+            if self._metrics is not None:
+                self._metrics.counter("graph_cache_hits_total").inc()
+            return ChunkPlan(cached.chunk_index, cached.chunk_len,
+                             cached.kv_len, list(cached.subgraphs),
+                             dict(cached.shadows))
+        _CACHE_MISSES += 1
+        if self._metrics is not None:
+            self._metrics.counter("graph_cache_misses_total").inc()
         rows = chunk_len
         kv_len = (chunk_index + 1) * chunk_len
         cfg = self.config
@@ -303,6 +364,8 @@ class GraphBuilder:
                 layer, SG_FFN, rows, n_up * cfg.ffn_hidden + cfg.hidden_size,
                 profile,
             )
+        self._plan_cache[key] = ChunkPlan(chunk_index, chunk_len, kv_len,
+                                          list(subgraphs), dict(shadows))
         return ChunkPlan(chunk_index, chunk_len, kv_len, subgraphs, shadows)
 
     def npu_ops_per_block(self) -> int:

@@ -1,0 +1,147 @@
+"""DMA/compute overlap: double/quad-buffered weight streaming.
+
+The baseline :class:`~repro.hw.processor.MatMulProfile` model collapses
+weight streaming into a single ``combine`` choice per engine: ``"sum"``
+(streaming and arithmetic fully serialize) or ``"max"`` (perfect overlap,
+the infinite-buffer limit).  Real NPU pipelines sit in between: weights
+stream tile-by-tile into a small pool of on-chip buffers, and the MAC
+array computes on tile ``i`` while the DMA engine fetches tile ``i+1`` —
+the classic double/quad-buffering pattern (2 buffers overlap load with
+compute; deeper pools additionally ride out non-uniform tile times).
+
+This module models that pipeline explicitly.  A weight tensor of
+``weight_bytes`` is split into tiles of at most ``tile_bytes``; each tile
+costs a DMA transfer (descriptor issue + bytes over the memory interface)
+and a proportional slice of the MatMul's arithmetic.  The two engines are
+chained by the standard recurrence with a buffer-reuse constraint of
+depth ``buffers``::
+
+    dma_end[i]     = max(dma_end[i-1], compute_end[i-buffers]) + dma_s[i]
+    compute_end[i] = max(compute_end[i-1], dma_end[i]) + compute_s[i]
+
+``buffers=1`` degenerates to fully serial execution (the ``"sum"``
+combine); as ``buffers`` and the tile count grow the total approaches
+``max(sum(dma), sum(compute))`` plus the pipeline-fill ramp (the first
+tile's DMA can never be hidden) — the ``"max"`` combine is exactly the
+ideal limit of this model.
+
+Everything here is opt-in: :class:`DmaConfig` defaults to ``None`` in
+:class:`~repro.graph.builder.BuildOptions`, so all golden artifacts keep
+the legacy combine model bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.hw.processor import MatMulProfile
+
+__all__ = ["DmaConfig", "pipeline_latency", "streamed_matmul_latency",
+           "overlap_efficiency"]
+
+
+@dataclass(frozen=True)
+class DmaConfig:
+    """Weight-streaming pipeline parameters.
+
+    ``buffers`` is the on-chip tile-pool depth: 1 = serial (no overlap),
+    2 = double buffering, 4 = quad buffering.  ``tile_bytes`` is the
+    capacity of one pool slot.  ``issue_overhead_s`` is the per-tile DMA
+    descriptor cost (programming the engine, fence bookkeeping) — the
+    term that punishes overly small tiles.
+    """
+
+    buffers: int = 2
+    tile_bytes: int = 256 * 1024
+    issue_overhead_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.buffers < 1:
+            raise ConfigError(
+                f"DMA pipeline needs at least one buffer, got {self.buffers}"
+            )
+        if self.tile_bytes <= 0:
+            raise ConfigError(
+                f"tile_bytes must be positive, got {self.tile_bytes}"
+            )
+        if self.issue_overhead_s < 0:
+            raise ConfigError(
+                f"negative DMA issue overhead {self.issue_overhead_s}"
+            )
+
+
+def pipeline_latency(dma_s: Sequence[float], compute_s: Sequence[float],
+                     buffers: int) -> float:
+    """Makespan of a tile pipeline: one DMA engine feeding one compute
+    engine through a pool of ``buffers`` rotating tiles.
+
+    ``dma_s[i]`` / ``compute_s[i]`` are the transfer and compute times of
+    tile ``i``.  The DMA for tile ``i`` cannot start until the buffer it
+    rotates into is free, i.e. until tile ``i - buffers`` has finished
+    computing.
+    """
+    if len(dma_s) != len(compute_s):
+        raise ConfigError(
+            f"tile list mismatch: {len(dma_s)} DMA vs "
+            f"{len(compute_s)} compute entries"
+        )
+    if buffers < 1:
+        raise ConfigError(f"buffers must be >= 1, got {buffers}")
+    compute_ends: list = []
+    dma_end = 0.0
+    compute_end = 0.0
+    for i, (d, c) in enumerate(zip(dma_s, compute_s)):
+        if d < 0 or c < 0:
+            raise ConfigError(f"negative tile time at index {i}")
+        free_at = compute_ends[i - buffers] if i >= buffers else 0.0
+        dma_end = max(dma_end, free_at) + d
+        compute_end = max(compute_end, dma_end) + c
+        compute_ends.append(compute_end)
+    return compute_end
+
+
+def _tile_sizes(weight_bytes: int, tile_bytes: int) -> list:
+    """Split ``weight_bytes`` into full tiles plus one remainder tile."""
+    n_full, rem = divmod(weight_bytes, tile_bytes)
+    sizes = [tile_bytes] * n_full
+    if rem or not sizes:
+        sizes.append(rem)
+    return sizes
+
+
+def streamed_matmul_latency(profile: MatMulProfile, m: int, k: int, n: int,
+                            weight_bytes: int, dma: DmaConfig) -> float:
+    """MatMul latency under explicit tile-pipelined weight streaming.
+
+    The arithmetic total is the profile's roofline compute term; each
+    tile carries a slice of it proportional to its share of the weight
+    bytes (output-stationary tiling: the MAC work per weight tile is
+    uniform per byte).
+    """
+    if m <= 0 or k <= 0 or n <= 0:
+        raise ConfigError(f"invalid matmul shape ({m}, {k}, {n})")
+    if weight_bytes <= 0:
+        raise ConfigError(f"weight_bytes must be positive, got {weight_bytes}")
+    ops = 2.0 * m * k * n
+    compute_total = ops / (profile.peak_ops * profile.utilization(m))
+    sizes = _tile_sizes(weight_bytes, dma.tile_bytes)
+    dma_s = [dma.issue_overhead_s + b / profile.mem_bandwidth for b in sizes]
+    compute_s = [compute_total * (b / weight_bytes) for b in sizes]
+    return profile.overhead_s + pipeline_latency(dma_s, compute_s,
+                                                 dma.buffers)
+
+
+def overlap_efficiency(profile: MatMulProfile, m: int, k: int, n: int,
+                       weight_bytes: int, dma: DmaConfig) -> float:
+    """How much of the ideal (``"max"`` combine) overlap the pipeline
+    achieves: 1.0 = pipeline as fast as perfect overlap, lower = the
+    fill ramp / shallow buffering is costing time.
+    """
+    ops = 2.0 * m * k * n
+    compute = ops / (profile.peak_ops * profile.utilization(m))
+    memory = weight_bytes / profile.mem_bandwidth
+    ideal = profile.overhead_s + max(compute, memory)
+    actual = streamed_matmul_latency(profile, m, k, n, weight_bytes, dma)
+    return ideal / actual if actual > 0 else 1.0

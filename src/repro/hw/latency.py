@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from repro.errors import UnsupportedOperationError
+from repro.hw.dma import DmaConfig, streamed_matmul_latency
 from repro.hw.processor import DType, ProcessorSpec
 
 
@@ -38,13 +41,22 @@ class MatMulShape:
 
 
 def matmul_latency(proc: ProcessorSpec, shape: MatMulShape,
-                   dtype: DType = DType.INT8) -> float:
-    """Latency of one per-tensor MatMul on ``proc``."""
+                   dtype: DType = DType.INT8,
+                   dma: Optional[DmaConfig] = None) -> float:
+    """Latency of one per-tensor MatMul on ``proc``.
+
+    With ``dma`` set, weight streaming is modelled as an explicit
+    double/quad-buffered tile pipeline (:mod:`repro.hw.dma`) instead of
+    the profile's coarse ``combine`` rule.
+    """
     if not proc.supports(dtype):
         raise UnsupportedOperationError(
             f"{proc.name} has no {dtype.value} MatMul path"
         )
     profile = proc.matmul_profile(dtype)
+    if dma is not None:
+        return streamed_matmul_latency(profile, shape.m, shape.k, shape.n,
+                                       shape.weight_bytes(dtype), dma)
     return profile.latency(shape.m, shape.k, shape.n,
                            shape.weight_bytes(dtype))
 

@@ -446,6 +446,57 @@ class SloMonitor:
             if rid not in queued:
                 del self._queued_streaks[rid]
 
+    def observe_steps(self, records) -> int:
+        """Batch consumer of step records; returns the batch size.
+
+        Produces exactly the state ``N`` :meth:`observe_step` calls
+        would: the four step sketches ingest their value streams through
+        :meth:`~repro.obs.sketch.QuantileSketch.record_many` (bit-equal
+        to sequential observes), and the starvation streak machine still
+        advances record-by-record in order — its transitions depend on
+        the previous record's queue, so only the sketch ingestion is
+        batched.
+        """
+        records = list(records)
+        batch_tokens = []
+        queue_depths = []
+        inflight = []
+        budget_utils = []
+        for record in records:
+            as_dict = isinstance(record, dict)
+
+            def get(key):
+                return record[key] if as_dict else getattr(record, key)
+
+            batch_tokens.append(
+                float(get("prefill_tokens") + get("decode_tokens")))
+            queued = tuple(get("queued_ids"))
+            queue_depths.append(float(len(queued)))
+            inflight.append(float(get("n_inflight")))
+            util = get("budget_utilization")
+            if util is not None:
+                budget_utils.append(util)
+            for rid in queued:
+                streak = self._queued_streaks.get(rid, 0) + 1
+                self._queued_streaks[rid] = streak
+                if streak > self._peak_streaks.get(rid, 0):
+                    self._peak_streaks[rid] = streak
+            for rid in tuple(self._queued_streaks):
+                if rid not in queued:
+                    del self._queued_streaks[rid]
+        if not records:
+            return 0
+        self._n_steps += len(records)
+        self._sketch("batch_tokens", "step").record_many(batch_tokens)
+        self._sketch("queue_depth", "step").record_many(queue_depths)
+        self._sketch("inflight", "step").record_many(inflight)
+        if budget_utils:
+            # Lazily created like observe_step: an all-None stream must
+            # not materialize an empty budget_utilization sketch.
+            self._sketch("budget_utilization", "step").record_many(
+                budget_utils)
+        return len(records)
+
     def observe_decision(self, decision) -> None:
         """Streaming consumer of scheduler decisions (counts the mix)."""
         action = (decision["action"] if isinstance(decision, dict)

@@ -118,6 +118,53 @@ class QuantileSketch:
         for value in values:
             self.observe(value)
 
+    def record_many(self, values: Iterable[float]) -> int:
+        """Fold a batch of samples in one call; returns the batch size.
+
+        Bit-identical to ``N`` :meth:`observe` calls: bucket indices use
+        the same per-value ``math.log`` (so no ulp drift from vectorized
+        logarithms), and the exact sum is accumulated as one dyadic
+        rational — floats are ratios with power-of-two denominators, so
+        the batch folds into big-int shifts and a single ``Fraction``
+        addition, which equals the sequential Fraction sum exactly.
+
+        Unlike :meth:`observe_many`, the batch is atomic: a NaN/inf or
+        negative sample rejects the whole call without mutating the
+        sketch.
+        """
+        vals = [float(v) for v in values]
+        for value in vals:
+            if not math.isfinite(value):
+                raise SketchError(f"non-finite sample {value!r}")
+            if value < 0.0:
+                raise SketchError(f"negative sample {value!r}")
+        if not vals:
+            return 0
+        buckets = self._buckets
+        log_gamma = self._log_gamma
+        min_value = self.min_value
+        ceil, log = math.ceil, math.log
+        zero = 0
+        acc_num, acc_exp = 0, 0
+        for value in vals:
+            if value <= min_value:
+                zero += 1
+            else:
+                index = ceil(log(value) / log_gamma)
+                buckets[index] = buckets.get(index, 0) + 1
+            num, den = value.as_integer_ratio()
+            exp = den.bit_length() - 1
+            if exp > acc_exp:
+                acc_num <<= exp - acc_exp
+                acc_exp = exp
+            acc_num += num << (acc_exp - exp)
+        self._zero_count += zero
+        self._count += len(vals)
+        self._sum += Fraction(acc_num, 1 << acc_exp)
+        self._min = min(self._min, min(vals))
+        self._max = max(self._max, max(vals))
+        return len(vals)
+
     # -- aggregates -----------------------------------------------------------
 
     @property

@@ -72,8 +72,10 @@ def importance_profile(calib: CalibrationResult) -> np.ndarray:
     importance = calib.layer_importance()
     n_layers = max(importance) + 1
     out = np.zeros(n_layers, dtype=np.float64)
-    for layer, value in importance.items():
-        out[layer] = value
+    layers = np.fromiter(importance.keys(), dtype=np.int64,
+                         count=len(importance))
+    out[layers] = np.fromiter(importance.values(), dtype=np.float64,
+                              count=len(importance))
     return out
 
 

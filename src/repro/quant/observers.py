@@ -169,9 +169,9 @@ class ActivationObserver:
                 threshold=threshold,
                 channel_absmax=channel_absmax.astype(np.float32),
                 channel_outlier_hits=outlier_mask.sum(axis=0).astype(np.int64),
-                outlier_channels_per_call=[
-                    int(c) for c in outlier_mask.sum(axis=1)
-                ],
+                outlier_channels_per_call=outlier_mask.sum(
+                    axis=1
+                ).astype(np.int64).tolist(),
                 calls=per_call.shape[0],
                 rows=raw.rows,
             )

@@ -117,6 +117,13 @@ class ShadowOutlierLinear(QuantLinear):
         self.hot_channel_set: Optional[Set[int]] = (
             None if hot_channels is None else set(int(c) for c in hot_channels)
         )
+        # Sorted-array twin of hot_channel_set for vectorized membership
+        # tests in the per-call accounting path.
+        self._hot_channel_array: Optional[np.ndarray] = (
+            None if self.hot_channel_set is None
+            else np.fromiter(sorted(self.hot_channel_set), dtype=np.int64,
+                             count=len(self.hot_channel_set))
+        )
         self.shadow_stats = ShadowStats()
 
     # -- the two halves of Eq. 1 -------------------------------------------
@@ -179,11 +186,11 @@ class ShadowOutlierLinear(QuantLinear):
         if self.hot_channel_set is None:
             self.shadow_stats.hot_hits += int(cols.size)
             return
-        for c in cols:
-            if int(c) in self.hot_channel_set:
-                self.shadow_stats.hot_hits += 1
-            else:
-                self.shadow_stats.cold_misses += 1
+        if cols.size == 0:
+            return
+        hits = int(np.isin(cols, self._hot_channel_array).sum())
+        self.shadow_stats.hot_hits += hits
+        self.shadow_stats.cold_misses += int(cols.size) - hits
 
     # -- memory accounting ---------------------------------------------------
 

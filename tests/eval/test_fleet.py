@@ -29,7 +29,10 @@ def fleet_runs():
 
 @pytest.fixture(scope="module")
 def report():
-    return fleet_report(seed=42)
+    # Legacy seeding: these assertions pin the original 3-device golden
+    # behaviour (the splitmix stream is covered separately below).
+    return fleet_report(specs=default_fleet(seed=42, seeding="legacy"),
+                        seed=42)
 
 
 class TestMergeEqualsPooled:

@@ -1,0 +1,98 @@
+"""Chunk-plan memoization: hit/miss accounting and cache safety.
+
+Within one :class:`GraphBuilder` the (config, device, options) triple is
+fixed, so a chunk plan is a pure function of ``(chunk_index, chunk_len,
+shadow_profiles)``; the step loop replays the same chunk ladder for
+every request and must hit the cache.  The cache may never leak shared
+mutable state: callers get shallow copies they can rearrange freely.
+"""
+
+import pytest
+
+from repro.graph import GraphBuilder, ShadowProfile
+from repro.graph.builder import graph_cache_stats, reset_graph_cache_stats
+from repro.hw import REDMI_K70_PRO
+from repro.model import QWEN15_18B
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture()
+def builder():
+    return GraphBuilder(QWEN15_18B, REDMI_K70_PRO)
+
+
+@pytest.fixture(autouse=True)
+def clean_stats():
+    reset_graph_cache_stats()
+    yield
+    reset_graph_cache_stats()
+
+
+class TestMemoization:
+    def test_repeat_build_hits(self, builder):
+        first = builder.build_chunk(0, 256)
+        before = graph_cache_stats()
+        second = builder.build_chunk(0, 256)
+        after = graph_cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+        assert second.subgraphs == first.subgraphs
+        assert second.shadows == first.shadows
+
+    def test_distinct_shapes_miss(self, builder):
+        builder.build_chunk(0, 256)
+        builder.build_chunk(1, 256)   # different chunk index
+        builder.build_chunk(0, 128)   # different chunk length
+        stats = graph_cache_stats()
+        assert stats["misses"] == 3
+        assert stats["hits"] == 0
+
+    def test_shadow_profiles_are_part_of_the_key(self, builder):
+        plain = builder.build_chunk(0, 256)
+        pruned = builder.build_chunk(
+            0, 256, shadow_profiles={0: ShadowProfile(pruned=True)}
+        )
+        assert graph_cache_stats()["misses"] == 2
+        assert plain.shadows != pruned.shadows
+        # and the profiled variant caches independently
+        builder.build_chunk(
+            0, 256, shadow_profiles={0: ShadowProfile(pruned=True)}
+        )
+        assert graph_cache_stats()["hits"] == 1
+
+    def test_cached_plan_is_a_defensive_copy(self, builder):
+        first = builder.build_chunk(0, 256)
+        first.subgraphs.clear()
+        first.shadows.clear()
+        second = builder.build_chunk(0, 256)
+        assert len(second.subgraphs) > 0
+        assert len(second.shadows) > 0
+        assert second.subgraphs is not first.subgraphs
+        assert second.shadows is not first.shadows
+
+    def test_builders_do_not_share_entries(self):
+        a = GraphBuilder(QWEN15_18B, REDMI_K70_PRO)
+        b = GraphBuilder(QWEN15_18B, REDMI_K70_PRO)
+        a.build_chunk(0, 256)
+        b.build_chunk(0, 256)
+        # same shape in a fresh builder is a miss (per-builder cache:
+        # options/device could differ between builders)
+        assert graph_cache_stats() == {"hits": 0, "misses": 2}
+
+
+class TestMetricsMirror:
+    def test_attached_registry_sees_hits_and_misses(self, builder):
+        registry = MetricsRegistry()
+        builder.attach_metrics(registry)
+        builder.build_chunk(0, 256)
+        builder.build_chunk(0, 256)
+        builder.build_chunk(1, 256)
+        snapshot = {m["name"]: m["value"] for m in registry.snapshot()
+                    if m["name"].startswith("graph_cache")}
+        assert snapshot["graph_cache_misses_total"] == 2.0
+        assert snapshot["graph_cache_hits_total"] == 1.0
+
+    def test_unattached_builder_needs_no_registry(self, builder):
+        builder.build_chunk(0, 64)
+        builder.build_chunk(0, 64)  # must not raise
+        assert graph_cache_stats()["hits"] == 1

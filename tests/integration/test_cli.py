@@ -50,9 +50,9 @@ class TestExperimentRegistry:
     def test_registry_complete(self):
         # every table and figure of the evaluation section (14) plus the
         # extension ablations, the calibration dashboard, the
-        # service-layer experiments (incl. service-batching), and
-        # fleet-slo
-        assert len(EXPERIMENTS) == 30
+        # service-layer experiments (incl. service-batching), fleet-slo,
+        # and dma-overlap
+        assert len(EXPERIMENTS) == 31
         paper = [n for n in EXPERIMENTS
                  if n.startswith(("fig", "table"))]
         assert len(paper) == 14

@@ -1,0 +1,154 @@
+"""Batch ingestion (``record_many`` / ``observe_steps``) equivalence.
+
+The vectorized step loop feeds sketches and histograms in batches; these
+tests pin the contract that a batch of ``N`` values produces *exactly*
+the state of ``N`` single records — including the sketch's exact
+Fraction sum — and that invalid values reject the whole batch atomically
+(validate-all-then-mutate), so a failed batch can never leave a sketch
+half-updated.
+"""
+
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsError
+from repro.obs.monitor import SloMonitor, SloSpec
+from repro.obs.sketch import QuantileSketch, SketchError
+
+
+def _monitor() -> SloMonitor:
+    return SloMonitor([SloSpec("avail", "availability", 0.99)])
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+finite_values = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False,
+    allow_subnormal=False,
+)
+value_batches = st.lists(finite_values, max_size=60)
+
+
+class TestQuantileSketchRecordMany:
+    @given(value_batches)
+    def test_matches_sequential_observes(self, values):
+        batch = QuantileSketch(alpha=0.01)
+        sequential = QuantileSketch(alpha=0.01)
+        n = batch.record_many(values)
+        for v in values:
+            sequential.observe(v)
+        assert n == len(values)
+        assert batch.to_dict() == sequential.to_dict()
+        assert batch._sum == sequential._sum  # exact Fraction, not float
+        if values:
+            for q in (50.0, 95.0, 99.0):
+                assert batch.percentile(q) == sequential.percentile(q)
+
+    @given(value_batches, value_batches)
+    def test_batches_compose_like_streams(self, first, second):
+        batched = QuantileSketch(alpha=0.01)
+        batched.record_many(first)
+        batched.record_many(second)
+        streamed = QuantileSketch(alpha=0.01)
+        for v in first + second:
+            streamed.observe(v)
+        assert batched.to_dict() == streamed.to_dict()
+
+    def test_empty_batch_is_a_noop(self):
+        sketch = QuantileSketch()
+        assert sketch.record_many([]) == 0
+        assert sketch.count == 0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf"), -1.0])
+    def test_invalid_value_rejects_whole_batch(self, bad):
+        sketch = QuantileSketch()
+        sketch.observe(2.0)
+        before = sketch.to_dict()
+        with pytest.raises(SketchError):
+            sketch.record_many([1.0, 3.0, bad, 4.0])
+        # atomic: the valid prefix must not have been ingested
+        assert sketch.to_dict() == before
+
+    def test_bucket_indices_use_scalar_log(self):
+        # Values sitting exactly on bucket boundaries are the ulp-
+        # sensitive case that forbids swapping math.log for np.log:
+        # a one-ulp difference in log(value) moves ceil() a whole bucket.
+        sketch = QuantileSketch(alpha=0.01)
+        gamma = (1.0 + sketch.alpha) / (1.0 - sketch.alpha)
+        boundary_values = [gamma ** k for k in range(1, 30, 3)]
+        sequential = QuantileSketch(alpha=0.01)
+        for v in boundary_values:
+            sequential.observe(v)
+        sketch.record_many(boundary_values)
+        assert sketch.to_dict() == sequential.to_dict()
+
+
+class TestHistogramRecordMany:
+    @given(value_batches)
+    def test_matches_sequential_records(self, values):
+        batch = Histogram("h", ())
+        sequential = Histogram("h", ())
+        assert batch.record_many(values) == len(values)
+        for v in values:
+            sequential.observe(v)
+        assert batch.values == sequential.values
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_invalid_value_rejects_whole_batch(self, bad):
+        hist = Histogram("h", ())
+        hist.observe(1.0)
+        with pytest.raises(MetricsError):
+            hist.record_many([2.0, bad])
+        assert hist.values == [1.0]
+
+
+def _step(prefill, decode, queued, inflight, util):
+    """Minimal repro.steps/v1-shaped record for the monitor."""
+    return {
+        "prefill_tokens": prefill,
+        "decode_tokens": decode,
+        "queued_ids": queued,
+        "n_inflight": inflight,
+        "budget_utilization": util,
+    }
+
+
+step_records = st.lists(
+    st.builds(
+        _step,
+        st.integers(0, 512),
+        st.integers(0, 64),
+        st.lists(st.sampled_from(["r1", "r2", "r3", "r4"]), unique=True,
+                 max_size=4),
+        st.integers(0, 8),
+        st.one_of(st.none(), st.floats(0.0, 1.0, allow_nan=False)),
+    ),
+    max_size=30,
+)
+
+
+class TestObserveSteps:
+    @given(step_records)
+    def test_matches_sequential_observe_step(self, records):
+        batched = _monitor()
+        sequential = _monitor()
+        assert batched.observe_steps(records) == len(records)
+        for record in records:
+            sequential.observe_step(record)
+        assert ({k: s.to_dict() for k, s in batched.sketches.items()}
+                == {k: s.to_dict() for k, s in sequential.sketches.items()})
+        assert batched._n_steps == sequential._n_steps
+        assert batched._queued_streaks == sequential._queued_streaks
+        assert batched._peak_streaks == sequential._peak_streaks
+
+    def test_all_none_budget_creates_no_sketch(self):
+        monitor = _monitor()
+        monitor.observe_steps([_step(1, 1, [], 0, None)] * 3)
+        assert not any("budget_utilization" in key
+                       for key in monitor.sketches)
+
+    def test_empty_batch_creates_no_sketches(self):
+        monitor = _monitor()
+        assert monitor.observe_steps([]) == 0
+        assert not monitor.sketches
