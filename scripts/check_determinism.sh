@@ -252,6 +252,58 @@ splitmix_fleet 3 | cmp -s "$par2" - || {
 echo "OK: parallel fleet fan-out is byte-identical to sequential" \
      "(legacy golden workers=4, splitmix workers=3)"
 
+# The critical-path document (repro.critpath/v1) is derived purely
+# from the golden workload's simulated timelines plus the service-side
+# queueing facts, so it too must be a pure function of the seed — and
+# the schema checker enforces per-path conservation (sum of waits +
+# durations == e2e within 1e-9 s) on it.
+critpath() {
+    python -c 'from repro.eval import golden_critpath_json
+print(golden_critpath_json(seed=42))'
+}
+
+cp1=$(mktemp)
+cp2=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$trace1" "$trace2" "$prof1" "$prof2" \
+     "$fleet1" "$fleet2" "$seq1" "$seq2" "$seq3" "$steps1" "$steps2" \
+     "$noop1" "$par1" "$par2" "$cp1" "$cp2"' EXIT
+
+critpath > "$cp1"
+critpath > "$cp2"
+
+if ! cmp -s "$cp1" "$cp2"; then
+    echo "FAIL: consecutive golden critical-path documents differ" >&2
+    exit 1
+fi
+python scripts/check_trace_schema.py "$cp1"
+echo "OK: golden critical-path document is byte-identical across runs" \
+     "($(wc -c < "$cp1") bytes)"
+
+# The what-if estimator's replay loop must agree with the simulator it
+# models: predicted TTFT/e2e for representative perturbations of the
+# reference engine run match a real re-simulation within 1e-9 s.
+python -c '
+from repro.obs import (WHATIF_TOL_S, OperatorSpeedup, ProcessorReassign,
+                       capture_engine_run, predict, resimulate)
+from repro.core.engine import LlmNpuEngine
+
+engine = LlmNpuEngine.build("Qwen1.5-1.8B", "Redmi K70 Pro")
+run = capture_engine_run(engine, 512, output_tokens=4)
+for perts in ([OperatorSpeedup("sg1", 2.0)],
+              [ProcessorReassign("sg2.float", "gpu")],
+              [OperatorSpeedup("decode", 1.5),
+               ProcessorReassign("sg4.float", "gpu")]):
+    pred = predict(run, perts)
+    actual = resimulate(run, perts)
+    for key, a, b in (("ttft", pred.predicted.ttft_s, actual.ttft_s),
+                      ("e2e", pred.predicted.e2e_s, actual.e2e_s),
+                      ("itl", pred.predicted.itl_s, actual.itl_s)):
+        err = abs(a - b)
+        assert err <= WHATIF_TOL_S, (key, perts, err)
+print("OK: what-if predictions match re-simulation within",
+      WHATIF_TOL_S, "s on 3 perturbation sets")
+'
+
 # The vectorized simulator fast path must make exactly the choices of
 # the kept-verbatim reference implementation on the self-benchmark
 # graphs (the speedup suite's correctness precondition).

@@ -34,6 +34,12 @@ Four modes, selectable by file content:
   — checks the step/decision/request record shapes, that every decision
   uses the closed action taxonomy, and per-step work conservation:
   the items' summed span equals the step window within 1e-9 s.
+* ``repro.critpath/v1`` critical-path documents written by
+  :func:`repro.obs.critpath_doc` / ``llmnpu critpath`` — checks the
+  per-path segment chains (telescoping starts, non-negative waits,
+  edges from the closed taxonomy) and the conservation invariant:
+  per path, sum(wait + duration) over the segments equals the
+  end-to-end latency within 1e-9 s, and slack is never negative.
 
 Schema strings and the decision taxonomy are loaded from
 ``src/repro/obs/schemas.py`` *by file path*, so this checker and the
@@ -80,7 +86,10 @@ BENCH_SCHEMA = _SCHEMAS.BENCH_SCHEMA
 ALERTS_SCHEMA = _SCHEMAS.ALERTS_SCHEMA
 FLEET_SCHEMA = _SCHEMAS.FLEET_SCHEMA
 STEPS_SCHEMA = _SCHEMAS.STEPS_SCHEMA
+CRITPATH_SCHEMA = _SCHEMAS.CRITPATH_SCHEMA
 DECISION_ACTIONS = set(_SCHEMAS.DECISION_ACTIONS)
+CRITPATH_EDGES = set(_SCHEMAS.CRITPATH_EDGES)
+CRITPATH_TOL_S = 1e-9
 ALERT_STATES = {"pending", "firing", "resolved"}
 LINK_KINDS = {"request", "fault"}
 IDLE_CAUSES = {"graph_build", "sync_wait", "dependency", "starvation"}
@@ -520,6 +529,104 @@ def check_steps(path, doc):
           f"decisions, {len(doc['requests'])} requests")
 
 
+def check_critpath(path, doc):
+    """``repro.critpath/v1``: the invariants of
+    ``repro.obs.critical_path.validate_critical_path``, stdlib-only."""
+    for key in ("source", "n_paths", "paths", "totals"):
+        if key not in doc:
+            fail(f"{path}: critpath doc missing {key!r}")
+    if not isinstance(doc["paths"], list) or not doc["paths"]:
+        fail(f"{path}: 'paths' must be a non-empty list")
+    if doc["n_paths"] != len(doc["paths"]):
+        fail(f"{path}: n_paths != len(paths)")
+    total_work = 0.0
+    total_wait = 0.0
+    by_proc = {}
+    by_tag = {}
+    for i, p in enumerate(doc["paths"]):
+        where = f"{path}: paths[{i}]"
+        for key in ("source", "origin_s", "e2e_s", "n_events",
+                    "n_segments", "work_s", "wait_s", "by_proc",
+                    "by_tag", "segments", "slack"):
+            if key not in p:
+                fail(f"{where}: missing {key!r}")
+        if p["n_segments"] != len(p["segments"]):
+            fail(f"{where}: n_segments != len(segments)")
+        if not _finite(p["origin_s"]) or not _finite(p["e2e_s"]):
+            fail(f"{where}: origin_s/e2e_s must be finite")
+        prev_end = p["origin_s"]
+        covered = 0.0
+        work = 0.0
+        for j, seg in enumerate(p["segments"]):
+            sw = f"{where}: segments[{j}]"
+            for key in ("task_id", "proc", "tag", "start_s", "end_s",
+                        "duration_s", "wait_s", "edge"):
+                if key not in seg:
+                    fail(f"{sw}: missing {key!r}")
+            for key in ("start_s", "end_s", "duration_s", "wait_s"):
+                if not _finite(seg[key]):
+                    fail(f"{sw}: non-finite {key!r}")
+            if seg["edge"] not in CRITPATH_EDGES:
+                fail(f"{sw}: unknown edge {seg['edge']!r} (expected one "
+                     f"of {sorted(CRITPATH_EDGES)})")
+            if abs(seg["duration_s"] - (seg["end_s"] - seg["start_s"])) \
+                    > CRITPATH_TOL_S:
+                fail(f"{sw}: duration_s != end_s - start_s")
+            if seg["wait_s"] < -CRITPATH_TOL_S:
+                fail(f"{sw}: negative wait {seg['wait_s']!r}")
+            if abs(seg["start_s"] - (prev_end + seg["wait_s"])) \
+                    > CRITPATH_TOL_S:
+                fail(f"{sw}: start_s != previous end + wait_s "
+                     f"(chain broken)")
+            covered += seg["wait_s"] + seg["duration_s"]
+            work += seg["duration_s"]
+            prev_end = seg["end_s"]
+        if abs(covered - p["e2e_s"]) > CRITPATH_TOL_S:
+            fail(f"{where}: sum(wait + duration) {covered!r} != e2e_s "
+                 f"{p['e2e_s']!r} (conservation)")
+        if abs(work - p["work_s"]) > CRITPATH_TOL_S:
+            fail(f"{where}: segment durations do not sum to work_s")
+        for block in ("by_proc", "by_tag"):
+            acc = sum(p[block].values())
+            if abs(acc - work) > CRITPATH_TOL_S:
+                fail(f"{where}: {block} sums to {acc!r}, not on-path "
+                     f"work {work!r}")
+        for j, rec in enumerate(p["slack"]):
+            sw = f"{where}: slack[{j}]"
+            for key in ("task_id", "proc", "tag", "start_s", "end_s",
+                        "slack_s"):
+                if key not in rec:
+                    fail(f"{sw}: missing {key!r}")
+            if not _finite(rec["slack_s"]) \
+                    or rec["slack_s"] < -CRITPATH_TOL_S:
+                fail(f"{sw}: slack must be finite and non-negative, "
+                     f"got {rec['slack_s']!r}")
+        total_work += work
+        total_wait += p["wait_s"]
+        for block, acc in (("by_proc", by_proc), ("by_tag", by_tag)):
+            for key, s in p[block].items():
+                acc[key] = acc.get(key, 0.0) + s
+    totals = doc["totals"]
+    n = len(doc["paths"])
+    if abs(totals.get("work_s", math.nan) - total_work) \
+            > CRITPATH_TOL_S * n:
+        fail(f"{path}: totals.work_s != sum of per-path work")
+    if abs(totals.get("wait_s", math.nan) - total_wait) \
+            > CRITPATH_TOL_S * n:
+        fail(f"{path}: totals.wait_s != sum of per-path waits")
+    for block, acc in (("by_proc", by_proc), ("by_tag", by_tag)):
+        declared = totals.get(block, {})
+        if sorted(declared) != sorted(acc):
+            fail(f"{path}: totals.{block} keys do not match the paths")
+        for key in acc:
+            if abs(declared[key] - acc[key]) > CRITPATH_TOL_S * n:
+                fail(f"{path}: totals.{block}[{key!r}] drifts from the "
+                     f"per-path sum")
+    print(f"OK: {path}: critpath doc from {doc['source']!r}: {n} paths, "
+          f"{sum(p['n_segments'] for p in doc['paths'])} on-path "
+          f"segments, work {total_work:.6f} s + waits {total_wait:.6f} s")
+
+
 def check_file(path):
     with open(path) as f:
         head = f.read(1)
@@ -546,6 +653,8 @@ def check_file(path):
                 check_fleet(path, doc)
             elif schema == STEPS_SCHEMA:
                 check_steps(path, doc)
+            elif schema == CRITPATH_SCHEMA:
+                check_critpath(path, doc)
             else:
                 fail(f"{path}: unknown schema {schema!r} (expected one "
                      f"of {sorted(_SCHEMAS.SCHEMA_TABLE)})")

@@ -18,13 +18,16 @@ from typing import Dict, List
 from repro.eval import (
     ablation_chunk_length,
     calibration_dashboard,
+    dma_ablation,
     fleet_slo,
     service_batching,
     service_breakdown,
+    service_critpath,
     service_fault_recovery,
     service_load,
     service_profile,
     service_tier_comparison,
+    stage_crossover,
     ablation_equivalent_shapes,
     ablation_hot_channels,
     dma_overlap,
@@ -102,6 +105,14 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fleet-slo": ("fleet telemetry: merged sketch percentiles + SLO "
                   "compliance + burn-rate incidents across devices",
                   fleet_slo),
+    "critpath": ("critical-path attribution over the golden service "
+                 "workload (which tasks gated each request)",
+                 service_critpath),
+    "dma-ablation": ("calibrated DMA buffer-depth ladder, cross-checked "
+                     "by the what-if estimator", dma_ablation),
+    "stage-crossover": ("prompt length x float placement sweep with "
+                        "critical-path gating stages (ROADMAP item 3)",
+                        stage_crossover),
 }
 
 
@@ -138,14 +149,15 @@ def cmd_run(args) -> int:
         start = time.time()
         kwargs = {}
         params = inspect.signature(fn).parameters
-        for flag in ("trace_out", "metrics_out"):
+        for flag in ("trace_out", "metrics_out", "critpath_out"):
             value = getattr(args, flag, None)
             if value and flag in params:
                 kwargs[flag] = value
         result = fn(**kwargs)
         _print_tables(result, save_as=name if args.save else "")
         for flag, label in (("trace_out", "trace"),
-                            ("metrics_out", "metrics")):
+                            ("metrics_out", "metrics"),
+                            ("critpath_out", "critpath artifact")):
             if getattr(args, flag, None):
                 if flag in kwargs:
                     print(f"[{label} written to {kwargs[flag]}]")
@@ -262,7 +274,8 @@ def cmd_trace(args) -> int:
     service = service_golden_records(seed=args.seed, tracer=tracer,
                                      metrics=metrics)
     events = export_service_trace(service, args.trace_out,
-                                  validate=not args.no_validate)
+                                  validate=not args.no_validate,
+                                  critpath=args.critpath)
     n_spans = sum(1 for e in events if e.get("ph") == "X")
     print(f"[unified trace: {len(events)} events ({n_spans} spans) "
           f"-> {args.trace_out}]")
@@ -310,9 +323,38 @@ def cmd_profile(args) -> int:
     validate_profile(report)
     summary = report.summary_table()
     summary.title = title
-    for table in (summary, operator_table(report), energy_table(report)):
+    operators = operator_table(report)
+    if args.operator:
+        pattern = args.operator
+        operators.rows = [
+            row for row in operators.rows
+            if row[1] == pattern or str(row[1]).startswith(pattern + ".")
+        ]
+        operators.add_note(f"filtered to operator {pattern!r} "
+                           f"({len(operators.rows)} rows)")
+    if args.top:
+        # rows are (proc, tag, events, busy ms, share, gops); keep the
+        # N biggest time sinks so huge traces stay skimmable
+        ranked = sorted(operators.rows, key=lambda row: -row[3])
+        if len(ranked) > args.top:
+            operators.add_note(f"top {args.top} of {len(ranked)} "
+                               f"operators by busy time")
+        operators.rows = ranked[:args.top]
+    for table in (summary, operators, energy_table(report)):
         print(table.render())
         print()
+    flamegraph = list(report.flamegraph)
+    if args.operator:
+        pattern = args.operator
+        flamegraph = [
+            line for line in flamegraph
+            if any(frame == pattern or frame.startswith(pattern + ".")
+                   for frame in line.rsplit(" ", 1)[0].split(";"))
+        ]
+    if args.top:
+        flamegraph = sorted(
+            flamegraph, key=lambda line: -int(line.rsplit(" ", 1)[1])
+        )[:args.top]
     if args.profile_out:
         report.save(args.profile_out)
         print(f"[profile report ({len(report.to_json())} bytes) -> "
@@ -322,9 +364,9 @@ def cmd_profile(args) -> int:
         os.makedirs(os.path.dirname(args.flamegraph_out) or ".",
                     exist_ok=True)
         with open(args.flamegraph_out, "w") as f:
-            f.write("\n".join(report.flamegraph))
+            f.write("\n".join(flamegraph))
             f.write("\n")
-        print(f"[flamegraph: {len(report.flamegraph)} stacks -> "
+        print(f"[flamegraph: {len(flamegraph)} stacks -> "
               f"{args.flamegraph_out}]")
     return 0
 
@@ -509,9 +551,187 @@ def cmd_explain(args) -> int:
         else:
             for line in explain_lines(doc, args.request_id):
                 print(line)
+            if not args.steplog and not args.no_critpath:
+                print()
+                for line in _request_narrative(args.seed, args.batched,
+                                               args.request_id):
+                    print(line)
     except ReproError as exc:
         print(f"explain: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _request_narrative(seed: int, batched: bool,
+                       request_id: int) -> List[str]:
+    """Critical-path narrative lines for one golden-workload request
+    (the causal half of ``explain``: wait attribution says how long the
+    scheduler held the request, the critical path says which tasks then
+    gated it)."""
+    from repro.eval import batched_golden_service, service_golden_records
+    from repro.obs import narrative_lines, request_critical_path
+
+    service = (batched_golden_service(seed=seed) if batched
+               else service_golden_records(seed=seed))
+    for record in service.requests:
+        if record.request_id == request_id:
+            if record.status != "completed" or record.report is None:
+                return [f"(no critical path: request {request_id} "
+                        f"status is {record.status!r})"]
+            path = request_critical_path(
+                record, decode_backend=service.config.decode_backend)
+            return narrative_lines(path)
+    return [f"(no critical path: request {request_id} not in the "
+            f"golden workload)"]
+
+
+def cmd_critpath(args) -> int:
+    """Critical-path attribution: which tasks actually gated completion.
+
+    Three modes: the golden service workload (default), one synthetic
+    inference (--prompt-tokens), or a fleet roll-up of top gating
+    segments (--fleet N)."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.obs import (
+        critpath_doc,
+        narrative_lines,
+        validate_critical_path,
+    )
+
+    try:
+        if args.fleet:
+            from repro.eval import (
+                default_fleet,
+                fleet_critpath_table,
+                fleet_report,
+            )
+            report = fleet_report(
+                specs=default_fleet(args.fleet, seed=args.seed,
+                                    seeding=args.seeding),
+                seed=args.seed, workers=args.workers, critpath=True)
+            print(fleet_critpath_table(report, top=args.top).render())
+            return 0
+        if args.prompt_tokens:
+            from repro.core import LlmNpuEngine
+            from repro.obs import critical_path
+            engine = LlmNpuEngine.build(args.model, args.device)
+            inference = engine.infer(args.prompt_tokens,
+                                     args.output_tokens)
+            timeline = inference.timeline(engine.config.decode_backend)
+            path = critical_path(
+                timeline, source=f"{args.model} "
+                                 f"prompt={args.prompt_tokens}")
+            paths = [path]
+            for line in narrative_lines(path, top=args.top):
+                print(line)
+        else:
+            from repro.eval import (
+                critpath_request_table,
+                critpath_stage_table,
+                service_critical_paths,
+            )
+            paths, _service = service_critical_paths(seed=args.seed)
+            if args.request_id is not None:
+                wanted = f"request {args.request_id}"
+                matches = [p for p in paths if p.source == wanted]
+                if not matches:
+                    raise ReproError(
+                        f"request {args.request_id} has no critical "
+                        f"path (not completed, or not in the workload)")
+                for line in narrative_lines(matches[0], top=args.top):
+                    print(line)
+            else:
+                print(critpath_stage_table(
+                    paths, title=f"Critical-path attribution by stage — "
+                                 f"golden workload (seed={args.seed})"
+                ).render())
+                print()
+                print(critpath_request_table(paths).render())
+        for path in paths:
+            validate_critical_path(path)
+        if args.critpath_out:
+            doc = critpath_doc(
+                paths, source=f"golden service workload seed={args.seed}"
+                if not args.prompt_tokens else paths[0].source)
+            _write_json(args.critpath_out,
+                        json.dumps(doc, indent=2, sort_keys=True,
+                                   allow_nan=False))
+            print(f"[critpath artifact (repro.critpath/v1) -> "
+                  f"{args.critpath_out}]")
+    except ReproError as exc:
+        print(f"critpath: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_whatif(args) -> int:
+    """Counterfactual latency estimation: replay the captured task DAG
+    with perturbed latencies and report predicted TTFT/ITL/e2e deltas,
+    optionally verified against a ground-truth re-simulation."""
+    from repro.core import LlmNpuEngine
+    from repro.errors import ReproError
+    from repro.eval.report import Table
+    from repro.obs import (
+        WHATIF_TOL_S,
+        capture_engine_run,
+        dma_overlap_perturbation,
+        predict,
+        reassign_from_spec,
+        resimulate,
+        speedup_from_spec,
+    )
+
+    try:
+        engine = LlmNpuEngine.build(args.model, args.device)
+        perturbations = []
+        for spec in args.speedup or ():
+            perturbations.append(speedup_from_spec(spec))
+        for spec in args.reassign or ():
+            perturbations.append(reassign_from_spec(spec))
+        if args.dma_buffers:
+            from repro.hw.dma import DmaConfig
+            pert, _clone = dma_overlap_perturbation(
+                engine, args.prompt_tokens,
+                DmaConfig(buffers=args.dma_buffers),
+                output_tokens=args.output_tokens)
+            perturbations.append(pert)
+        if not perturbations:
+            raise ReproError(
+                "no perturbations given — use --speedup TAG=FACTOR, "
+                "--reassign TAG=PROC[*SCALE], and/or --dma-buffers N")
+        run = capture_engine_run(engine, args.prompt_tokens,
+                                 output_tokens=args.output_tokens)
+        report = predict(run, perturbations)
+    except ReproError as exc:
+        print(f"whatif: {exc}", file=sys.stderr)
+        return 2
+    table = Table(
+        title=f"What-if — {args.model}, prompt={args.prompt_tokens}, "
+              f"out={args.output_tokens}",
+        columns=["metric", "baseline ms", "predicted ms", "delta ms"],
+    )
+    for metric, base, pred in (
+            ("TTFT", report.baseline.ttft_s, report.predicted.ttft_s),
+            ("ITL", report.baseline.itl_s, report.predicted.itl_s),
+            ("e2e", report.baseline.e2e_s, report.predicted.e2e_s)):
+        table.add_row(metric, base * 1e3, pred * 1e3,
+                      (pred - base) * 1e3)
+    for label in report.perturbations:
+        table.add_note(f"perturbation: {label}")
+    print(table.render())
+    if args.verify:
+        truth = resimulate(run, perturbations)
+        error = max(abs(report.predicted.ttft_s - truth.ttft_s),
+                    abs(report.predicted.itl_s - truth.itl_s),
+                    abs(report.predicted.e2e_s - truth.e2e_s))
+        verdict = "OK" if error <= WHATIF_TOL_S else "FAIL"
+        print(f"\n[{verdict}] re-simulation check: max |prediction - "
+              f"ground truth| = {error:.3e} s (tolerance "
+              f"{WHATIF_TOL_S:g} s)")
+        if error > WHATIF_TOL_S:
+            return 1
     return 0
 
 
@@ -535,6 +755,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a Perfetto trace (drivers that trace)")
     run.add_argument("--metrics-out", default=None,
                      help="write a metrics snapshot (drivers that trace)")
+    run.add_argument("--critpath-out", default=None,
+                     help="write the repro.critpath/v1 artifact (drivers "
+                          "that attribute critical paths)")
     run.set_defaults(func=cmd_run)
 
     report = sub.add_parser(
@@ -586,6 +809,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the metrics snapshot (JSON)")
     trace.add_argument("--no-validate", action="store_true",
                        help="skip the per-track serial-overlap check")
+    trace.add_argument("--critpath", action="store_true",
+                       help="stamp hw spans with an on_path arg marking "
+                            "each request's critical path")
     trace.set_defaults(func=cmd_trace)
 
     profile = sub.add_parser(
@@ -605,6 +831,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the repro.profile/v1 JSON report")
     profile.add_argument("--flamegraph-out", default=None,
                          help="write collapsed-stack flamegraph lines")
+    profile.add_argument("--top", type=int, default=0,
+                         help="only the N biggest operators / flamegraph "
+                              "stacks (0 = all)")
+    profile.add_argument("--operator", default=None,
+                         help="filter tables + flamegraph to one operator "
+                              "tag (exact or dotted-prefix match)")
     profile.set_defaults(func=cmd_profile)
 
     fleet = sub.add_parser(
@@ -678,7 +910,67 @@ def build_parser() -> argparse.ArgumentParser:
                               "of rerunning the golden workload")
     explain.add_argument("--steplog-out", default=None,
                          help="also write the run's repro.steps/v1 log")
+    explain.add_argument("--no-critpath", action="store_true",
+                         help="skip the per-request critical-path "
+                              "narrative")
     explain.set_defaults(func=cmd_explain)
+
+    critpath = sub.add_parser(
+        "critpath",
+        help="critical-path attribution: the dependency-respecting "
+             "chain of tasks that gated completion, with per-segment "
+             "slack for everything off-path",
+    )
+    critpath.add_argument("request_id", nargs="?", type=int, default=None,
+                          help="narrate one golden-workload request "
+                               "(omit for the attribution tables)")
+    critpath.add_argument("--seed", type=int, default=42)
+    critpath.add_argument("--model", default="Qwen1.5-1.8B")
+    critpath.add_argument("--device", default="Redmi K70 Pro")
+    critpath.add_argument("--prompt-tokens", type=int, default=0,
+                          help="attribute one inference of this many "
+                               "prompt tokens instead of the golden "
+                               "workload")
+    critpath.add_argument("--output-tokens", type=int, default=8)
+    critpath.add_argument("--top", type=int, default=5,
+                          help="gating segments per narrative / fleet "
+                               "stages to list")
+    critpath.add_argument("--fleet", type=int, default=0,
+                          help="roll up top gating segments across N "
+                               "fleet devices instead")
+    critpath.add_argument("--seeding", choices=("legacy", "splitmix"),
+                          default="legacy",
+                          help="fleet-mode per-device seed derivation")
+    critpath.add_argument("--workers", type=int, default=1,
+                          help="fleet-mode process-pool size")
+    critpath.add_argument("--critpath-out", default=None,
+                          help="write the repro.critpath/v1 artifact")
+    critpath.set_defaults(func=cmd_critpath)
+
+    whatif = sub.add_parser(
+        "whatif",
+        help="counterfactual latency: replay the captured task DAG with "
+             "perturbed latencies; predicted TTFT/ITL/e2e deltas",
+    )
+    whatif.add_argument("--model", default="Qwen1.5-1.8B")
+    whatif.add_argument("--device", default="Redmi K70 Pro")
+    whatif.add_argument("--prompt-tokens", type=int, default=1024)
+    whatif.add_argument("--output-tokens", type=int, default=8)
+    whatif.add_argument("--speedup", action="append", metavar="TAG=FACTOR",
+                        help="operator TAG becomes FACTOR times faster "
+                             "(repeatable)")
+    whatif.add_argument("--reassign", action="append",
+                        metavar="TAG=PROC[*SCALE]",
+                        help="operator TAG moves to PROC, durations "
+                             "scaled by SCALE (repeatable)")
+    whatif.add_argument("--dma-buffers", type=int, default=0,
+                        help="re-model NPU weight streaming with an "
+                             "N-buffer DMA pool")
+    whatif.add_argument("--verify", action="store_true",
+                        help="cross-check the prediction against a "
+                             "ground-truth re-simulation (exits 1 if "
+                             "beyond tolerance)")
+    whatif.set_defaults(func=cmd_whatif)
     return parser
 
 

@@ -309,6 +309,33 @@ def merged_alerts(specs: Sequence[FleetDeviceSpec],
     }
 
 
+def _device_critpath_sketches(service) -> Dict[str, dict]:
+    """Per-stage critical-path telemetry of one device, as serialized
+    sketches.
+
+    Each completed request's critical path is reduced to on-path
+    seconds per stage tag and folded into one
+    :class:`~repro.obs.QuantileSketch` per stage — the same mergeable
+    shape the latency telemetry uses, so fleet-wide "which segments
+    gate completion" roll-ups never ship raw per-request paths off
+    device.
+    """
+    from repro.obs.critical_path import request_critical_path
+
+    decode_backend = service.config.decode_backend
+    sketches: Dict[str, QuantileSketch] = {}
+    for record in service.requests:
+        if record.status != "completed" or record.report is None:
+            continue
+        path = request_critical_path(record, decode_backend=decode_backend)
+        for tag, seconds in path.by_tag().items():
+            key = f"critpath.{tag}"
+            if key not in sketches:
+                sketches[key] = QuantileSketch()
+            sketches[key].observe(seconds)
+    return {key: sketch.to_dict() for key, sketch in sketches.items()}
+
+
 def _device_payload(args) -> dict:
     """Run one device end-to-end and reduce it to a plain-dict payload.
 
@@ -316,9 +343,12 @@ def _device_payload(args) -> dict:
     needs — the per-device report record, serialized sketches, compliance
     counts, the incident timeline, and scheduler telemetry — as
     picklable primitives, so the parent never ships live monitors across
-    process boundaries.
+    process boundaries.  An optional fourth element of ``args`` turns on
+    critical-path attribution (off by default: the committed fleet
+    goldens and the gated device-rate benchmark pin the legacy payload).
     """
-    spec, slos, rules = args
+    spec, slos, rules, *rest = args
+    with_critpath = bool(rest[0]) if rest else False
     service, monitor = run_device(spec, slos=slos, rules=rules)
     run_step_probe(spec, monitor)
     m = service.metrics()
@@ -326,7 +356,10 @@ def _device_payload(args) -> dict:
                    if r.status == "completed" and r.ttft_s is not None)
     itls = [r.itl_s for r in service.requests
             if r.status == "completed" and r.itl_s is not None]
+    critpath = (_device_critpath_sketches(service) if with_critpath
+                else {})
     return {
+        "critpath": critpath,
         "record": {
             "name": spec.name,
             "device": spec.device_name,
@@ -360,12 +393,14 @@ def _device_payload(args) -> dict:
 def _device_payloads(specs: Sequence[FleetDeviceSpec],
                      slos: Sequence[SloSpec],
                      rules: Sequence[BurnRateRule],
-                     workers: int = 1) -> List[dict]:
+                     workers: int = 1,
+                     critpath: bool = False) -> List[dict]:
     """Per-device payloads, in ``specs`` order, optionally fanned out."""
     from repro.errors import ReproError
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
-    items = [(spec, tuple(slos), tuple(rules)) for spec in specs]
+    items = [(spec, tuple(slos), tuple(rules), critpath)
+             for spec in specs]
     workers = min(workers, len(items))
     if workers <= 1:
         return [_device_payload(item) for item in items]
@@ -416,6 +451,21 @@ def _merge_payload_compliance(slos: Sequence[SloSpec],
     return out
 
 
+def _merge_payload_critpath(payloads: Sequence[dict]
+                            ) -> Dict[str, QuantileSketch]:
+    """Merge serialized per-device critical-path sketches key-by-key
+    (same exactness guarantees as :func:`_merge_payload_sketches`)."""
+    merged: Dict[str, QuantileSketch] = {}
+    for payload in payloads:
+        for key, doc in payload.get("critpath", {}).items():
+            sketch = QuantileSketch.from_dict(doc)
+            if key in merged:
+                merged[key].merge(sketch)
+            else:
+                merged[key] = sketch
+    return merged
+
+
 def _merge_payload_alerts(payloads: Sequence[dict],
                           slos: Sequence[SloSpec],
                           rules: Sequence[BurnRateRule]) -> dict:
@@ -453,7 +503,8 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
                  seed: int = 42,
                  slos: Sequence[SloSpec] = FLEET_SLOS,
                  rules: Sequence[BurnRateRule] = DEFAULT_RULES,
-                 workers: int = 1) -> dict:
+                 workers: int = 1,
+                 critpath: bool = False) -> dict:
     """Run the fleet and aggregate into a ``repro.fleet/v1`` report.
 
     ``workers > 1`` fans the devices out over a fork-based process pool.
@@ -462,11 +513,18 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
     seed)`` order before running, each device reduces to a plain-dict
     payload, and all merges are either exact (integer counts, Fraction
     sketch sums) or performed in canonical device order.
+
+    ``critpath=True`` additionally attributes every completed request's
+    critical path on-device and merges the per-stage sketches into a
+    fleet-wide ``"critpath"`` section (top gating segments across the
+    fleet).  Off by default: the committed goldens pin the legacy
+    report bytes.
     """
     if specs is None:
         specs = default_fleet(seed=seed)
     specs = tuple(sorted(specs, key=lambda s: (s.name, s.seed)))
-    payloads = _device_payloads(specs, slos, rules, workers=workers)
+    payloads = _device_payloads(specs, slos, rules, workers=workers,
+                                critpath=critpath)
     sketches = _merge_payload_sketches(payloads)
     alerts = _merge_payload_alerts(payloads, slos, rules)
     devices = []
@@ -491,7 +549,7 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
         for action, count in payload["decision_counts"].items():
             fleet_decisions[action] = fleet_decisions.get(action, 0) \
                 + count
-    return {
+    report = {
         "schema": FLEET_SCHEMA,
         "seed": seed,
         "n_devices": len(specs),
@@ -508,6 +566,13 @@ def fleet_report(specs: Optional[Sequence[FleetDeviceSpec]] = None,
         },
         "alerts": alerts,
     }
+    if critpath:
+        critpath_sketches = _merge_payload_critpath(payloads)
+        report["critpath"] = {
+            key: critpath_sketches[key].snapshot_percentiles()
+            for key in sorted(critpath_sketches)
+        }
+    return report
 
 
 def fleet_golden_json(seed: int = 42, workers: int = 1) -> str:
@@ -672,6 +737,40 @@ def fleet_scheduler_table(report: dict) -> Table:
     table.add_note("occupancy and starvation come from each device's "
                    "batched step probe (golden batching config over its "
                    "seeded stream); the request path stays legacy")
+    return table
+
+
+def fleet_critpath_table(report: dict, top: int = 10) -> Table:
+    """Top critical-path segments across the fleet, by total gated time.
+
+    Requires a report built with ``critpath=True``; each row is one
+    stage tag's merged sketch — count of requests it appeared on-path
+    for, total seconds it gated, and the per-request distribution.
+    """
+    from repro.errors import ReproError
+    if "critpath" not in report:
+        raise ReproError(
+            "fleet report has no critpath section — build it with "
+            "fleet_report(..., critpath=True)")
+    section = report["critpath"]
+    table = Table(
+        title=f"Fleet critical-path segments — {report['n_devices']} "
+              f"devices (seed={report['seed']}), top {top} by gated time",
+        columns=["stage", "requests", "total gated s", "mean s",
+                 "p50 s", "p95 s", "max s"],
+    )
+    ranked = sorted(section, key=lambda key: (-section[key]["sum"], key))
+    for key in ranked[:top]:
+        snap = section[key]
+        table.add_row(key.removeprefix("critpath."), snap["count"],
+                      snap["sum"], snap["mean"], snap["p50"],
+                      snap["p95"], snap["max"])
+    if len(ranked) > top:
+        table.add_note(f"{len(ranked) - top} further stages omitted")
+    table.add_note("per-stage on-path seconds are sketched on-device "
+                   "and merged exactly — the fleet sees which segments "
+                   "gate completion without any raw path leaving a "
+                   "device")
     return table
 
 

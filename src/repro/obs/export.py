@@ -169,7 +169,7 @@ def validate_timeline(events: List[dict], tol: float = _OVERLAP_TOL_S) -> None:
                 )
 
 
-def service_timeline(service) -> Tracer:
+def service_timeline(service, critpath: bool = False) -> Tracer:
     """One merged timeline: service request spans + hw task events.
 
     Takes a traced :class:`~repro.core.service.LlmService` and returns a
@@ -181,6 +181,11 @@ def service_timeline(service) -> Tracer:
     * ``service / req NNNNN`` — request lifecycle spans;
     * ``service / scheduler``, ``service / faults`` — queue ops, draws;
     * ``hw <model> / npu|cpu|gpu`` — the per-engine processor timelines.
+
+    ``critpath=True`` stamps every hw span with an ``on_path`` arg
+    (whether the task sits on its request's critical path), so Perfetto
+    can highlight the gating chain — off by default to keep golden
+    traces byte-identical.
     """
     merged = Tracer()
     merged.extend(service.tracer.events)
@@ -188,6 +193,12 @@ def service_timeline(service) -> Tracer:
         report = record.report
         if record.status != "completed" or report is None:
             continue
+        on_path = frozenset()
+        if critpath:
+            from repro.obs.critical_path import request_critical_path
+            path = request_critical_path(
+                record, decode_backend=service.config.decode_backend)
+            on_path = frozenset(seg.task_id for seg in path.segments)
         # The successful attempt spans [finish - e2e, finish]; everything
         # before it on this request is queueing/retry, which has no hw
         # schedule (failed attempts die inside the driver).
@@ -195,24 +206,30 @@ def service_timeline(service) -> Tracer:
         timeline = report.timeline(service.config.decode_backend)
         proc = f"hw {record.model}"
         for ev in timeline.events:
+            extra = ({"on_path": ev.task_id in on_path} if critpath
+                     else {})
             merged.span(
                 ev.task_id, proc=proc, thread=ev.proc,
                 start_s=t0 + ev.start_s, end_s=t0 + ev.end_s,
                 cat=ev.tag or "task", request_id=record.request_id,
+                **extra,
             )
     return merged
 
 
 def export_service_trace(service, path: str,
                          validate: bool = True,
-                         counters: bool = False) -> List[dict]:
+                         counters: bool = False,
+                         critpath: bool = False) -> List[dict]:
     """Merge, optionally validate, and save one service run's timeline.
 
     ``counters`` merges the scheduler counter tracks (queue depth,
     batch occupancy, KV headroom) derived from the run's step records —
-    off by default so golden traces stay byte-identical.
+    off by default so golden traces stay byte-identical.  ``critpath``
+    stamps hw spans with an ``on_path`` arg (see
+    :func:`service_timeline`).
     """
-    events = to_chrome_trace(service_timeline(service),
+    events = to_chrome_trace(service_timeline(service, critpath=critpath),
                              steps=service.steps if counters else None)
     if validate:
         validate_timeline(events)

@@ -31,6 +31,22 @@ SKETCH_SCHEMA = "repro.sketch/v1"
 #: Step-level scheduler telemetry logs (``obs/steplog.py``).
 STEPS_SCHEMA = "repro.steps/v1"
 
+#: Critical-path attribution documents (``obs/critical_path.py``,
+#: ``llmnpu critpath``).
+CRITPATH_SCHEMA = "repro.critpath/v1"
+
+#: The ``repro.critpath/v1`` edge taxonomy: what gated each on-path
+#: segment (see ``obs/critical_path.py`` for the per-edge semantics).
+#: Lives here so the stdlib-only schema checker validates against the
+#: same closed set the writer enforces.
+CRITPATH_EDGES = (
+    "origin",
+    "inferred",
+    "resource",
+    "dep",
+    "service",
+)
+
 #: The ``repro.steps/v1`` decision taxonomy (see ``obs/steplog.py`` for
 #: the per-action semantics).  Lives here so the stdlib-only schema
 #: checker validates against the same closed set the writer enforces.
@@ -62,6 +78,7 @@ SCHEMA_TABLE = {
     FLEET_SCHEMA: "fleet telemetry roll-up",
     SKETCH_SCHEMA: "mergeable quantile sketch",
     STEPS_SCHEMA: "per-step scheduler telemetry + decision log",
+    CRITPATH_SCHEMA: "critical-path attribution with per-segment slack",
 }
 
 __all__ = [
@@ -71,6 +88,7 @@ __all__ = [
     "FLEET_SCHEMA",
     "SKETCH_SCHEMA",
     "STEPS_SCHEMA",
+    "CRITPATH_SCHEMA",
     "DECISION_ACTIONS",
     "SCHEMA_TABLE",
 ]

@@ -266,10 +266,15 @@ class QuantileSketch:
     @classmethod
     def merged(cls, sketches: Iterable["QuantileSketch"]
                ) -> "QuantileSketch":
-        """A fresh sketch holding the union of ``sketches``."""
+        """A fresh sketch holding the union of ``sketches``.
+
+        An empty iterable yields an empty default-boundary sketch — a
+        fleet roll-up over zero devices is a report with zero samples,
+        not an error (its percentiles read as NaN/None).
+        """
         sketches = list(sketches)
         if not sketches:
-            raise SketchError("merged() needs at least one sketch")
+            return cls()
         out = cls(alpha=sketches[0].alpha,
                   min_value=sketches[0].min_value)
         for sketch in sketches:

@@ -1,0 +1,154 @@
+"""Critical-path extraction: gating edges, conservation, slack.
+
+The load-bearing invariant everywhere: the on-path segments telescope —
+waits + durations sum to the end-to-end latency within 1e-9 s — so the
+attribution partitions latency instead of double-counting it.
+"""
+
+import pytest
+
+from repro.core import LlmNpuEngine
+from repro.hw.sim import Task
+from repro.hw.trace import Trace, TraceEvent
+from repro.obs import (
+    CRITPATH_SCHEMA,
+    CritPathError,
+    critical_path,
+    critpath_doc,
+    narrative_lines,
+    validate_critical_path,
+)
+
+
+def trace_of(*events):
+    trace = Trace()
+    for task_id, proc, start, end, tag in events:
+        trace.add(TraceEvent(task_id=task_id, proc=proc,
+                             start_s=start, end_s=end, tag=tag))
+    return trace
+
+
+class TestExtraction:
+    def test_serial_chain_is_fully_on_path(self):
+        trace = trace_of(("a", "p", 0.0, 1.0, "x"),
+                         ("b", "p", 1.0, 2.5, "y"),
+                         ("c", "p", 2.5, 3.0, "z"))
+        path = critical_path(trace)
+        assert [s.task_id for s in path.segments] == ["a", "b", "c"]
+        assert path.segments[0].edge == "origin"
+        # same-processor serialization outranks schedule inference
+        assert all(s.edge == "resource" for s in path.segments[1:])
+        assert path.e2e_s == 3.0
+        assert path.work_s == 3.0 and path.wait_s == 0.0
+        assert not path.slack
+
+    def test_idle_gap_becomes_wait(self):
+        trace = trace_of(("a", "p", 0.0, 1.0, ""),
+                         ("b", "p", 2.0, 3.0, ""))
+        path = critical_path(trace)
+        assert path.segments[1].wait_s == 1.0
+        assert path.work_s == 2.0 and path.wait_s == 1.0
+        assert path.work_s + path.wait_s == path.e2e_s
+
+    def test_dep_edges_with_task_list(self):
+        trace = trace_of(("a", "p1", 0.0, 1.0, ""),
+                         ("b", "p2", 1.0, 2.0, ""))
+        tasks = [Task(task_id="a", proc="p1", duration_s=1.0),
+                 Task(task_id="b", proc="p2", duration_s=1.0,
+                      deps=("a",))]
+        path = critical_path(trace, tasks=tasks)
+        assert [s.task_id for s in path.segments] == ["a", "b"]
+        assert path.segments[1].edge == "dep"
+
+    def test_off_path_event_gets_slack(self):
+        # d runs in parallel and nothing downstream depends on it: it
+        # could finish as late as the makespan without gating
+        trace = trace_of(("a", "p1", 0.0, 1.0, ""),
+                         ("b", "p1", 1.0, 3.0, ""),
+                         ("d", "p2", 0.0, 0.5, ""))
+        path = critical_path(trace)
+        assert [s.task_id for s in path.segments] == ["a", "b"]
+        assert len(path.slack) == 1
+        rec = path.slack[0]
+        assert rec.task_id == "d"
+        assert rec.slack_s == pytest.approx(2.5, abs=1e-12)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(CritPathError, match="empty trace"):
+            critical_path(Trace())
+
+    def test_by_proc_and_by_tag_partition_work(self):
+        trace = trace_of(("a", "p1", 0.0, 1.0, "x"),
+                         ("b", "p2", 1.0, 2.0, "x"),
+                         ("c", "p1", 2.0, 3.5, "y"))
+        path = critical_path(trace)
+        assert sum(path.by_proc().values()) == pytest.approx(path.work_s)
+        assert sum(path.by_tag().values()) == pytest.approx(path.work_s)
+        assert path.by_tag() == {"x": 2.0, "y": 1.5}
+
+
+class TestValidation:
+    def make_doc(self):
+        trace = trace_of(("a", "p", 0.0, 1.0, ""),
+                         ("b", "p", 1.0, 2.0, ""))
+        return critical_path(trace).to_dict()
+
+    def test_broken_chain_rejected(self):
+        doc = self.make_doc()
+        doc["segments"][1]["start_s"] += 0.5
+        doc["segments"][1]["end_s"] += 0.5
+        with pytest.raises(CritPathError, match="previous end"):
+            validate_critical_path(doc)
+
+    def test_conservation_violation_rejected(self):
+        doc = self.make_doc()
+        doc["e2e_s"] += 1e-6
+        with pytest.raises(CritPathError, match="end-to-end"):
+            validate_critical_path(doc)
+
+    def test_unknown_edge_rejected(self):
+        doc = self.make_doc()
+        doc["segments"][0]["edge"] = "telepathy"
+        with pytest.raises(CritPathError, match="unknown edge"):
+            validate_critical_path(doc)
+
+    def test_negative_slack_rejected(self):
+        doc = self.make_doc()
+        doc["slack"] = [{"task_id": "z", "proc": "p", "tag": "t",
+                         "start_s": 0.0, "end_s": 1.0, "slack_s": -1.0}]
+        with pytest.raises(CritPathError, match="negative slack"):
+            validate_critical_path(doc)
+
+    def test_sub_tolerance_residual_accepted(self):
+        doc = self.make_doc()
+        doc["e2e_s"] += 1e-12
+        validate_critical_path(doc)
+
+
+class TestEngineTimeline:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return LlmNpuEngine.build("Qwen1.5-1.8B", "Redmi K70 Pro")
+
+    def test_prefill_trace_conserves(self, engine):
+        report = engine.prefill(256)
+        path = critical_path(report.trace, source="prefill 256")
+        assert path.e2e_s == report.trace.makespan_s
+        # critical_path() self-validates; re-assert on the dict form
+        validate_critical_path(path.to_dict())
+        assert 0 < len(path.segments) <= path.n_events
+        assert len(path.segments) + len(path.slack) <= path.n_events
+
+    def test_doc_shape_and_narrative(self, engine):
+        path = critical_path(engine.prefill(128).trace, source="p128")
+        doc = critpath_doc([path], source="unit")
+        assert doc["schema"] == CRITPATH_SCHEMA
+        assert doc["n_paths"] == 1
+        assert doc["totals"]["work_s"] == pytest.approx(path.work_s)
+        lines = narrative_lines(path, top=3)
+        assert "critical path — p128" in lines[0]
+        assert any("gating segments" in line for line in lines)
+
+    def test_doc_requires_paths(self):
+        with pytest.raises(CritPathError, match="at least one"):
+            critpath_doc([])

@@ -155,3 +155,94 @@ class TestJsonl:
             capture_output=True, text=True,
         )
         assert result.returncode == 0, result.stderr
+
+
+def make_step(index=0, start_s=0.0, end_s=0.1, n_inflight=1,
+              prefill_tokens=128, decode_tokens=0,
+              queue_depths=None, kv_budget_bytes=None,
+              kv_reserved_bytes=0):
+    """A repro.steps/v1 step dict with only the keys the counter
+    exporter reads."""
+    return {
+        "index": index, "start_s": start_s, "end_s": end_s,
+        "n_inflight": n_inflight, "prefill_tokens": prefill_tokens,
+        "decode_tokens": decode_tokens,
+        "queue_depths": {} if queue_depths is None else queue_depths,
+        "kv_budget_bytes": kv_budget_bytes,
+        "kv_reserved_bytes": kv_reserved_bytes,
+    }
+
+
+class TestStepCounterEdgeCases:
+    def test_empty_step_log_emits_nothing(self):
+        from repro.obs.export import step_counter_events
+        assert step_counter_events([]) == []
+        # and an empty steps list never creates a counter process
+        tr = Tracer()
+        tr.span("s", proc="p", thread="t", start_s=0.0, end_s=0.5)
+        with_empty = to_chrome_trace(tr, steps=[])
+        without = to_chrome_trace(tr)
+        assert with_empty == without
+
+    def test_single_step_emits_all_three_tracks(self):
+        from repro.obs.export import step_counter_events
+        events = step_counter_events(
+            [make_step(queue_depths={"interactive": 2},
+                       kv_budget_bytes=1024, kv_reserved_bytes=256)])
+        assert [e["name"] for e in events] == \
+            ["queue depth", "batch occupancy", "kv headroom"]
+        assert all(e["ph"] == "C" for e in events)
+        headroom = events[-1]["args"]["bytes"]
+        assert headroom == 1024 - 256
+
+    def test_zero_inflight_idle_step_counts_as_zero(self):
+        # a fully idle step (nothing queued, nothing running) must still
+        # sample every track with explicit zeros, not drop the sample
+        from repro.obs.export import step_counter_events
+        events = step_counter_events(
+            [make_step(n_inflight=0, prefill_tokens=0, decode_tokens=0)])
+        queue, batch, kv = events
+        assert queue["args"] == {"total": 0}
+        assert batch["args"] == {"prefill_tokens": 0, "decode_tokens": 0}
+        # without a budget the reservation itself is the track
+        assert kv["name"] == "kv reserved"
+        assert kv["args"] == {"bytes": 0}
+
+    def test_counters_never_trip_overlap_validation(self):
+        # 'C' events carry no duration; two steps sharing a timestamp
+        # with a span on the same pid must not look like an overlap
+        tr = Tracer()
+        tr.span("s", proc="service", thread="t", start_s=0.0, end_s=1.0)
+        events = to_chrome_trace(
+            tr, steps=[make_step(index=0, start_s=0.0, end_s=0.5),
+                       make_step(index=1, start_s=0.5, end_s=1.0)])
+        validate_timeline(events)
+
+
+class TestOnPathMarking:
+    @staticmethod
+    def hw_task_spans(merged):
+        # per-request task events only — the engine's "prepare"
+        # lifecycle span also lives on the hw process but has no
+        # per-request critical path to sit on
+        return [e for e in merged.spans if e.proc.startswith("hw ")
+                and e.arg("request_id") is not None]
+
+    def test_default_timeline_has_no_on_path_arg(self, traced_service):
+        hw = self.hw_task_spans(service_timeline(traced_service))
+        assert hw
+        assert all(e.arg("on_path") is None for e in hw)
+
+    def test_critpath_marks_every_hw_span(self, traced_service):
+        merged = service_timeline(traced_service, critpath=True)
+        hw = self.hw_task_spans(merged)
+        marks = [e.arg("on_path") for e in hw]
+        assert all(isinstance(m, bool) for m in marks)
+        # the gating chain is a strict subset of each request's events
+        assert any(marks) and not all(marks)
+
+    def test_marking_does_not_change_the_schedule(self, traced_service):
+        plain = service_timeline(traced_service)
+        marked = service_timeline(traced_service, critpath=True)
+        assert [(e.name, e.start_s, e.end_s) for e in plain.spans] == \
+            [(e.name, e.start_s, e.end_s) for e in marked.spans]

@@ -111,9 +111,13 @@ class TestMergeIsExact:
         with pytest.raises(SketchError, match="cannot merge"):
             QuantileSketch().merge([1.0])
 
-    def test_merged_needs_input(self):
-        with pytest.raises(SketchError, match="at least one"):
-            QuantileSketch.merged([])
+    def test_merged_empty_iterable_is_empty_sketch(self):
+        # a fleet roll-up over zero devices is zero samples, not a crash
+        merged = QuantileSketch.merged([])
+        assert merged.count == 0
+        assert math.isnan(merged.percentile(99))
+        snap = merged.snapshot_percentiles()
+        assert snap["count"] == 0 and snap["p50"] is None
 
 
 class TestSerialization:
@@ -175,3 +179,37 @@ class TestValidation:
         sketch = sketch_of(rng.lognormal(0.0, 3.0, 100_000))
         assert sketch.count == 100_000
         assert sketch.n_buckets < 4000
+
+
+class TestEmptyPaths:
+    """Degenerate telemetry (idle devices, zero-sample windows) must
+    flow through the whole aggregation pipeline without raising."""
+
+    def test_merge_of_all_empty_sketches_stays_empty(self):
+        merged = QuantileSketch.merged(
+            [QuantileSketch(), QuantileSketch(), QuantileSketch()])
+        assert merged.count == 0
+        assert merged.sum == 0.0
+        assert merged.mean == 0.0
+        assert math.isnan(merged.min) and math.isnan(merged.max)
+        for q in (0, 50, 99, 100):
+            assert math.isnan(merged.percentile(q))
+
+    def test_empty_sketch_round_trips_and_merges(self):
+        clone = QuantileSketch.from_json(QuantileSketch().to_json())
+        assert clone.count == 0
+        # an empty sketch is the merge identity
+        full = sketch_of([1.0, 2.0])
+        assert QuantileSketch.merged([clone, full]).to_dict() == \
+            full.to_dict()
+
+    def test_empty_record_many_then_merge_then_percentile(self):
+        # the full fleet pipeline over zero samples: batch-ingest
+        # nothing, merge, snapshot — all no-ops, never an exception
+        sketch = QuantileSketch()
+        assert sketch.record_many([]) == 0
+        merged = QuantileSketch.merged([sketch])
+        snap = merged.snapshot_percentiles()
+        assert snap == {"count": 0, "sum": 0.0, "mean": 0.0,
+                        "p50": None, "p90": None, "p95": None,
+                        "p99": None, "max": None}
