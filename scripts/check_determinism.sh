@@ -319,3 +319,51 @@ for scenario in SIM_SCENARIOS:
 print("OK: vectorized simulator matches the reference on",
       len(SIM_SCENARIOS), "benchmark graph shapes")
 '
+
+# The run-to-run diff layer (repro.diff/v1): diffing a run against
+# itself must come back identical; the injected-slowdown golden pair
+# must be a pure function of its arguments, rank exactly the injected
+# operator as the top contributor, and telescope its per-segment deltas
+# to the observed e2e delta (the schema checker enforces the residual
+# bound per aligned request).
+diffpair() {
+    python -c 'from repro.eval import golden_diff_json
+print(golden_diff_json())'
+}
+
+diff1=$(mktemp)
+diff2=$(mktemp)
+trap 'rm -f "$out1" "$out2" "$trace1" "$trace2" "$prof1" "$prof2" \
+     "$fleet1" "$fleet2" "$seq1" "$seq2" "$seq3" "$steps1" "$steps2" \
+     "$noop1" "$par1" "$par2" "$cp1" "$cp2" "$diff1" "$diff2"' EXIT
+
+diffpair > "$diff1"
+diffpair > "$diff2"
+
+if ! cmp -s "$diff1" "$diff2"; then
+    echo "FAIL: consecutive injected-slowdown diffs differ" >&2
+    exit 1
+fi
+python scripts/check_trace_schema.py "$diff1"
+python -c '
+import json, sys
+from repro.eval import INJECTED_TAG, injected_slowdown_docs
+from repro.obs import diff_docs
+
+doc = json.load(open(sys.argv[1]))
+top = doc["top_contributors"][0]
+assert top["tag"] == INJECTED_TAG, \
+    f"top contributor is {top['\''tag'\'']!r}, not the injected {INJECTED_TAG!r}"
+assert doc["e2e"]["delta_s"] > 0.0
+worst = max(abs(r["residual_s"]) for r in doc["requests"])
+assert worst <= doc["tol_s"], worst
+base_doc, _ = injected_slowdown_docs()
+self_doc = diff_docs(base_doc, base_doc)
+assert self_doc["identical"], "self-diff is not identical"
+assert self_doc["e2e"]["delta_s"] == 0.0
+print(f"OK: injected slowdown attributes to {INJECTED_TAG!r} "
+      f"(+{top['\''delta_s'\'']*1e3:.1f} ms, worst residual {worst:.3e} s) "
+      f"and the self-diff is empty")
+' "$diff1"
+echo "OK: injected-slowdown diff is byte-identical across runs" \
+     "($(wc -c < "$diff1") bytes)"

@@ -40,10 +40,22 @@ Four modes, selectable by file content:
   edges from the closed taxonomy) and the conservation invariant:
   per path, sum(wait + duration) over the segments equals the
   end-to-end latency within 1e-9 s, and slack is never negative.
+* ``repro.diff/v1`` run-to-run diffs written by
+  :func:`repro.obs.diff_json` / ``llmnpu diff`` — checks the segment
+  statuses against the closed taxonomy, that appeared/vanished
+  segments carry a zero base/new side, and (critpath kind) the
+  attribution conservation invariant: per aligned request, the
+  per-segment deltas sum to the observed e2e delta within the doc's
+  tolerance.
+* ``repro.benchdiff/v1`` delta reports written by
+  ``llmnpu bench-compare --json-out`` — checks the per-metric delta
+  records, verdict taxonomy, and that ``ok`` agrees with the
+  regression count.
 
 Schema strings and the decision taxonomy are loaded from
 ``src/repro/obs/schemas.py`` *by file path*, so this checker and the
-writers can never disagree about them.
+writers can never disagree about them.  Files ending in ``.gz`` are
+transparently decompressed.
 
 Usage::
 
@@ -53,6 +65,7 @@ Usage::
 Exits non-zero with a line-numbered message on the first violation.
 """
 
+import gzip
 import importlib.util
 import json
 import math
@@ -87,8 +100,12 @@ ALERTS_SCHEMA = _SCHEMAS.ALERTS_SCHEMA
 FLEET_SCHEMA = _SCHEMAS.FLEET_SCHEMA
 STEPS_SCHEMA = _SCHEMAS.STEPS_SCHEMA
 CRITPATH_SCHEMA = _SCHEMAS.CRITPATH_SCHEMA
+DIFF_SCHEMA = _SCHEMAS.DIFF_SCHEMA
+BENCHDIFF_SCHEMA = _SCHEMAS.BENCHDIFF_SCHEMA
 DECISION_ACTIONS = set(_SCHEMAS.DECISION_ACTIONS)
 CRITPATH_EDGES = set(_SCHEMAS.CRITPATH_EDGES)
+DIFF_STATUSES = set(_SCHEMAS.DIFF_STATUSES)
+DIFF_KINDS = set(_SCHEMAS.DIFF_KINDS)
 CRITPATH_TOL_S = 1e-9
 ALERT_STATES = {"pending", "firing", "resolved"}
 LINK_KINDS = {"request", "fault"}
@@ -142,7 +159,7 @@ def check_jsonl_record(record, where):
 
 def check_jsonl(path):
     counts = {"span": 0, "instant": 0, "metric": 0}
-    with open(path) as f:
+    with _open(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
             if not line:
@@ -627,17 +644,134 @@ def check_critpath(path, doc):
           f"segments, work {total_work:.6f} s + waits {total_wait:.6f} s")
 
 
+VERDICTS = {"ok", "improved", "regressed", "missing", "new"}
+
+
+def check_diff(path, doc):
+    """``repro.diff/v1``: the invariants of
+    ``repro.obs.diff.validate_diff``, stdlib-only."""
+    for key in ("kind", "tol_s", "base", "new", "identical"):
+        if key not in doc:
+            fail(f"{path}: diff doc missing {key!r}")
+    kind = doc["kind"]
+    if kind not in DIFF_KINDS:
+        fail(f"{path}: unknown diff kind {kind!r} (expected one of "
+             f"{sorted(DIFF_KINDS)})")
+    tol = doc["tol_s"]
+    if not _finite(tol) or tol <= 0:
+        fail(f"{path}: tol_s must be a positive number")
+    if kind != "critpath":
+        print(f"OK: {path}: {kind} diff "
+              f"({'identical' if doc['identical'] else 'differs'})")
+        return
+    for key in ("e2e", "n_requests", "only_base", "only_new", "by_stage",
+                "by_proc", "by_status", "top_contributors", "requests"):
+        if key not in doc:
+            fail(f"{path}: critpath diff missing {key!r}")
+    if set(doc["by_status"]) != DIFF_STATUSES:
+        fail(f"{path}: by_status keys {sorted(doc['by_status'])} != "
+             f"{sorted(DIFF_STATUSES)}")
+    if doc["n_requests"] != len(doc["requests"]):
+        fail(f"{path}: n_requests != len(requests)")
+    worst = 0.0
+    changed = bool(doc["only_base"] or doc["only_new"])
+    for i, req in enumerate(doc["requests"]):
+        where = f"{path}: requests[{i}]"
+        for key in ("source", "base_e2e_s", "new_e2e_s", "delta_s",
+                    "attributed_s", "residual_s", "segments"):
+            if key not in req:
+                fail(f"{where}: missing {key!r}")
+        attributed = 0.0
+        for j, seg in enumerate(req["segments"]):
+            sw = f"{where}: segments[{j}]"
+            for key in ("task_id", "tag", "base_s", "new_s", "delta_s",
+                        "status"):
+                if key not in seg:
+                    fail(f"{sw}: missing {key!r}")
+            if seg["status"] not in DIFF_STATUSES:
+                fail(f"{sw}: unknown status {seg['status']!r}")
+            if seg["status"] == "appeared" and seg["base_s"] != 0.0:
+                fail(f"{sw}: appeared segment with nonzero base_s")
+            if seg["status"] == "vanished" and seg["new_s"] != 0.0:
+                fail(f"{sw}: vanished segment with nonzero new_s")
+            if abs(seg["delta_s"] - (seg["new_s"] - seg["base_s"])) > tol:
+                fail(f"{sw}: delta_s != new_s - base_s")
+            if seg["status"] != "unchanged":
+                changed = True
+            attributed += seg["delta_s"]
+        # ACCEPTANCE: attribution conservation — the per-segment deltas
+        # telescope to the observed e2e delta of the aligned request.
+        e2e_delta = req["new_e2e_s"] - req["base_e2e_s"]
+        residual = abs(attributed - e2e_delta)
+        worst = max(worst, residual)
+        if residual > tol:
+            fail(f"{where}: per-segment deltas sum to {attributed!r} but "
+                 f"e2e moved {e2e_delta!r} (residual {residual:.3e} s > "
+                 f"{tol:.1e} s)")
+        if abs(req["delta_s"]) > tol:
+            changed = True
+    if doc["identical"] and changed:
+        fail(f"{path}: diff marked identical but segments moved")
+    print(f"OK: {path}: critpath diff over {doc['n_requests']} aligned "
+          f"requests, attribution telescopes to the e2e delta "
+          f"(worst residual {worst:.3e} s <= {tol:.1e} s); "
+          f"{'identical' if doc['identical'] else 'differs'}")
+
+
+def check_benchdiff(path, doc):
+    """``repro.benchdiff/v1``: bench-compare delta report shape."""
+    for key in ("baseline", "candidate", "rel_tol", "abs_tol", "ok",
+                "n_metrics", "n_regressed", "deltas"):
+        if key not in doc:
+            fail(f"{path}: benchdiff missing {key!r}")
+    if doc["n_metrics"] != len(doc["deltas"]):
+        fail(f"{path}: n_metrics != len(deltas)")
+    n_regressed = 0
+    for i, d in enumerate(doc["deltas"]):
+        where = f"{path}: deltas[{i}]"
+        for key in ("metric", "direction", "baseline", "candidate",
+                    "delta", "rel_delta", "verdict"):
+            if key not in d:
+                fail(f"{where}: missing {key!r}")
+        if d["direction"] not in DIRECTIONS:
+            fail(f"{where}: direction {d['direction']!r} not in "
+                 f"{sorted(DIRECTIONS)}")
+        if d["verdict"] not in VERDICTS:
+            fail(f"{where}: verdict {d['verdict']!r} not in "
+                 f"{sorted(VERDICTS)}")
+        for key in ("baseline", "candidate", "delta", "rel_delta"):
+            if d[key] is not None and not _finite(d[key]):
+                fail(f"{where}: {key!r} must be null or finite")
+        if d["verdict"] in ("regressed", "missing"):
+            n_regressed += 1
+    if n_regressed != doc["n_regressed"]:
+        fail(f"{path}: n_regressed {doc['n_regressed']!r} != gating "
+             f"verdict count {n_regressed}")
+    if doc["ok"] != (n_regressed == 0):
+        fail(f"{path}: ok flag disagrees with the regression count")
+    print(f"OK: {path}: benchdiff {doc['baseline']!r} -> "
+          f"{doc['candidate']!r}: {doc['n_metrics']} metrics, "
+          f"{doc['n_regressed']} regressed")
+
+
+def _open(path):
+    """Open ``path`` for text reading, decompressing ``.gz`` files."""
+    if path.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path)
+
+
 def check_file(path):
-    with open(path) as f:
+    with _open(path) as f:
         head = f.read(1)
     if head == "[":
-        with open(path) as f:
+        with _open(path) as f:
             check_chrome(path, json.load(f))
     elif head == "{":
         # Either a schema-stamped report/artifact (one JSON object) or a
         # JSONL event log (one object per line, not valid as a whole).
         try:
-            with open(path) as f:
+            with _open(path) as f:
                 doc = json.load(f)
         except json.JSONDecodeError:
             doc = None
@@ -655,6 +789,10 @@ def check_file(path):
                 check_steps(path, doc)
             elif schema == CRITPATH_SCHEMA:
                 check_critpath(path, doc)
+            elif schema == DIFF_SCHEMA:
+                check_diff(path, doc)
+            elif schema == BENCHDIFF_SCHEMA:
+                check_benchdiff(path, doc)
             else:
                 fail(f"{path}: unknown schema {schema!r} (expected one "
                      f"of {sorted(_SCHEMAS.SCHEMA_TABLE)})")

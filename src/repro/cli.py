@@ -18,6 +18,7 @@ from typing import Dict, List
 from repro.eval import (
     ablation_chunk_length,
     calibration_dashboard,
+    diff_demo,
     dma_ablation,
     fleet_slo,
     service_batching,
@@ -113,6 +114,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "stage-crossover": ("prompt length x float placement sweep with "
                         "critical-path gating stages (ROADMAP item 3)",
                         stage_crossover),
+    "diff-eval": ("differential attribution: inject a known operator "
+                  "slowdown, diff the runs, recover exactly that "
+                  "operator as the top contributor", diff_demo),
 }
 
 
@@ -149,7 +153,8 @@ def cmd_run(args) -> int:
         start = time.time()
         kwargs = {}
         params = inspect.signature(fn).parameters
-        for flag in ("trace_out", "metrics_out", "critpath_out"):
+        for flag in ("trace_out", "metrics_out", "critpath_out",
+                     "diff_out"):
             value = getattr(args, flag, None)
             if value and flag in params:
                 kwargs[flag] = value
@@ -157,7 +162,8 @@ def cmd_run(args) -> int:
         _print_tables(result, save_as=name if args.save else "")
         for flag, label in (("trace_out", "trace"),
                             ("metrics_out", "metrics"),
-                            ("critpath_out", "critpath artifact")):
+                            ("critpath_out", "critpath artifact"),
+                            ("diff_out", "diff artifact")):
             if getattr(args, flag, None):
                 if flag in kwargs:
                     print(f"[{label} written to {kwargs[flag]}]")
@@ -373,8 +379,10 @@ def cmd_profile(args) -> int:
 
 def _write_json(path: str, text: str) -> None:
     import os
+
+    from repro.obs.export import open_text
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    with open(path, "w") as f:
+    with open_text(path, "w") as f:
         f.write(text)
         if not text.endswith("\n"):
             f.write("\n")
@@ -474,7 +482,7 @@ def cmd_monitor(args) -> int:
 
 def cmd_bench_compare(args) -> int:
     """Compare benchmark artifacts; exit 1 on regression."""
-    from repro.obs import ArtifactError, compare_paths
+    from repro.obs import ArtifactError, benchdiff_json, compare_paths
     try:
         comparison = compare_paths(args.baseline, args.candidate,
                                    rel_tol=args.rel_tol,
@@ -482,6 +490,9 @@ def cmd_bench_compare(args) -> int:
     except ArtifactError as exc:
         print(f"bench-compare: {exc}", file=sys.stderr)
         return 2
+    if args.json_out:
+        _write_json(args.json_out, benchdiff_json(comparison))
+        print(f"[delta report (repro.benchdiff/v1) -> {args.json_out}]")
     table = comparison.table()
     if not args.all_metrics:
         interesting = [d for d in comparison.deltas
@@ -497,6 +508,8 @@ def cmd_bench_compare(args) -> int:
     n_regressed = len(comparison.regressions)
     n_total = len(comparison.deltas)
     if n_regressed:
+        if args.explain:
+            _explain_regressions(comparison)
         # One line per offender on stderr: which metric, which way it
         # is allowed to move, golden vs fresh value, and the artifact
         # to regenerate — so CI logs are actionable without rerunning.
@@ -512,6 +525,92 @@ def cmd_bench_compare(args) -> int:
         return 1
     print(f"\nOK: {n_total} metrics within thresholds")
     return 0
+
+
+def _artifact_stem(path: str) -> str:
+    """``.../BENCH_critpath.json`` -> ``critpath``."""
+    import os
+    name = os.path.basename(path or "")
+    if name.startswith("BENCH_"):
+        name = name[len("BENCH_"):]
+    if name.endswith(".json"):
+        name = name[:-len(".json")]
+    return name
+
+
+def _explain_regressions(comparison) -> None:
+    """``bench-compare --explain``: per regressed artifact, re-run its
+    registered golden scenario and print the run-to-run attribution —
+    which operators ate the delta.  Stdout only; the per-regression
+    stderr lines stay machine-stable."""
+    from repro.errors import ReproError
+    from repro.eval.diff_eval import explain_regression
+    from repro.obs import diff_narrative, diff_table
+
+    seen = []
+    for d in comparison.regressions:
+        stem = _artifact_stem(d.path or comparison.baseline_name)
+        if stem not in seen:
+            seen.append(stem)
+    for stem in seen:
+        print(f"\n== explain: {stem} ==")
+        try:
+            doc = explain_regression(stem)
+        except ReproError as exc:
+            print(f"(attribution unavailable: {exc})")
+            continue
+        if doc is None:
+            print(f"(no golden scenario registered for {stem!r} — "
+                  f"see repro.eval.diff_eval.golden_scenarios)")
+            continue
+        print(diff_table(doc).render())
+        for line in diff_narrative(doc):
+            print(line)
+
+
+def cmd_diff(args) -> int:
+    """Run-to-run differential attribution: align two saved artifacts
+    (critpath / profile / steps / fleet, optionally gzipped) and
+    attribute the deltas.  Exit 0 when identical within tolerance,
+    1 when the runs differ, 2 on usage errors — mirroring
+    ``bench-compare``."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.obs import (
+        diff_docs,
+        diff_json,
+        diff_narrative,
+        diff_table,
+        open_text,
+    )
+
+    try:
+        docs = []
+        for path in (args.base, args.new):
+            try:
+                with open_text(path) as fh:
+                    docs.append(json.load(fh))
+            except (OSError, ValueError) as exc:
+                raise ReproError(
+                    f"cannot read {path!r}: {exc}") from None
+        doc = diff_docs(docs[0], docs[1], tol_s=args.tol)
+    except ReproError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    print(diff_table(doc, top=args.top).render())
+    if doc["kind"] == "critpath" and not args.no_narrative:
+        print()
+        for line in diff_narrative(doc, top=args.top):
+            print(line)
+    if args.out:
+        _write_json(args.out, diff_json(doc))
+        print(f"[diff (repro.diff/v1) -> {args.out}]")
+    if doc["identical"]:
+        print(f"\nOK: runs identical within {doc['tol_s']:g} s")
+        return 0
+    print(f"\nDIFFER: {args.base} -> {args.new}", file=sys.stderr)
+    return 1
 
 
 def cmd_explain(args) -> int:
@@ -758,6 +857,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--critpath-out", default=None,
                      help="write the repro.critpath/v1 artifact (drivers "
                           "that attribute critical paths)")
+    run.add_argument("--diff-out", default=None,
+                     help="write the repro.diff/v1 artifact (drivers "
+                          "that diff runs)")
     run.set_defaults(func=cmd_run)
 
     report = sub.add_parser(
@@ -886,7 +988,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="absolute noise threshold")
     compare.add_argument("--all-metrics", action="store_true",
                          help="list every metric, not just movers")
+    compare.add_argument("--json-out", default=None,
+                         help="write the machine-readable "
+                              "repro.benchdiff/v1 delta report")
+    compare.add_argument("--explain", action="store_true",
+                         help="for each regressed artifact with a "
+                              "registered golden scenario, re-run it and "
+                              "print the run-to-run attribution")
     compare.set_defaults(func=cmd_bench_compare)
+
+    diff = sub.add_parser(
+        "diff",
+        help="run-to-run differential attribution: align two saved "
+             "critpath/profile/steps/fleet artifacts and attribute "
+             "the deltas; exits 1 when the runs differ",
+    )
+    diff.add_argument("base", help="baseline artifact (JSON, .gz ok)")
+    diff.add_argument("new", help="new-run artifact (same schema)")
+    diff.add_argument("--top", type=int, default=5,
+                      help="movers per table / narrative block")
+    diff.add_argument("--tol", type=float, default=1e-9,
+                      help="conservation + identity tolerance in "
+                           "seconds")
+    diff.add_argument("--out", default=None,
+                      help="write the repro.diff/v1 document (.gz ok)")
+    diff.add_argument("--no-narrative", action="store_true",
+                      help="skip the per-request narrative (critpath "
+                           "diffs)")
+    diff.set_defaults(func=cmd_diff)
 
     explain = sub.add_parser(
         "explain",

@@ -90,7 +90,12 @@ class FleetDeviceSpec:
 
     ``device`` is a preset name or a full :class:`SocSpec`; ``seed``
     drives both the arrival stream and (offset, so the streams stay
-    independent) the fault injector.
+    independent) the fault injector.  ``arrival`` selects the traffic
+    model: ``"golden"`` replays the committed two-tier stream (the
+    background tier arrives at a fixed cadence identical on every
+    device), ``"poisson"`` redraws the arrival clock per device via
+    :func:`jittered_arrivals` so a large fleet stops replaying
+    byte-identical background traffic.
     """
 
     name: str
@@ -101,6 +106,7 @@ class FleetDeviceSpec:
     n_interactive: int = 12
     n_background: int = 10
     model: str = "Qwen1.5-1.8B"
+    arrival: str = "golden"
 
     @property
     def device_name(self) -> str:
@@ -152,6 +158,55 @@ def seed_stream(seed: int, n: int) -> List[int]:
     return out
 
 
+#: Mean arrival gaps of the golden two-tier stream, which the Poisson
+#: redraw preserves: interactive gaps are ``uniform(0.8, 1.6)`` (mean
+#: 1.2 s) and background requests land every 0.6 s after a 0.5 s lead-in.
+JITTER_INTERACTIVE_MEAN_GAP_S = 1.2
+JITTER_BACKGROUND_MEAN_GAP_S = 0.6
+JITTER_BACKGROUND_START_S = 0.5
+
+#: Offset folded into the jitter seed derivation so the arrival-jitter
+#: RNG, the golden sampler (``seed``) and the fault injector
+#: (``seed + 819``) never share a stream.
+_JITTER_SEED_SALT = 4099
+
+
+def jittered_arrivals(
+    n_interactive: int = 12,
+    n_background: int = 10,
+    seed: int = 42,
+    interactive_mean_gap_s: float = JITTER_INTERACTIVE_MEAN_GAP_S,
+    background_mean_gap_s: float = JITTER_BACKGROUND_MEAN_GAP_S,
+    background_start_s: float = JITTER_BACKGROUND_START_S,
+):
+    """Per-device Poisson redraw of the golden two-tier stream.
+
+    The golden :func:`~repro.eval.service_eval.two_tier_arrivals`
+    generator jitters the interactive tier per seed but schedules the
+    background tier at a *fixed* cadence — so at 1000 devices every
+    device replays byte-identical background traffic.  This variant
+    keeps the golden workload *samples* (prompts, output lengths — same
+    ``seed`` into the same samplers) and redraws only the arrival
+    clock: per-tier exponential gaps (a Poisson process) whose means
+    equal the golden cadences, drawn from a SplitMix-derived seed
+    decorrelated from both the golden arrival RNG and the fault
+    injector.  Still a pure function of its arguments, so fleet reports
+    built on it stay byte-identical across processes.
+    """
+    golden = two_tier_arrivals(n_interactive=n_interactive,
+                               n_background=n_background, seed=seed)
+    rng = np.random.default_rng(
+        seed_stream(seed + _JITTER_SEED_SALT, 1)[0])
+    clock = {"interactive": 0.0, "background": background_start_s}
+    mean = {"interactive": interactive_mean_gap_s,
+            "background": background_mean_gap_s}
+    stream = []
+    for tier, sample, _golden_t in golden:
+        clock[tier] += float(rng.exponential(mean[tier]))
+        stream.append((tier, sample, clock[tier]))
+    return stream
+
+
 def default_fleet(n_devices: int = 3, seed: int = 42,
                   seeding: str = "splitmix") -> Tuple[FleetDeviceSpec, ...]:
     """A heterogeneous fleet cycling flagship / mid-tier / budget.
@@ -159,7 +214,10 @@ def default_fleet(n_devices: int = 3, seed: int = 42,
     ``seeding`` selects the per-device seed derivation: ``"splitmix"``
     (default — decorrelated SplitMix64 stream) or ``"legacy"`` (the
     original ``seed + 100 * i`` ladder, which the committed 3-device
-    golden artifacts pin).
+    golden artifacts pin).  Splitmix fleets also get per-device Poisson
+    arrival jitter (``arrival="poisson"``); legacy fleets keep the
+    golden fixed-cadence stream so the committed artifacts stay
+    bit-for-bit.
     """
     from repro.errors import ReproError
     if n_devices < 1:
@@ -170,8 +228,10 @@ def default_fleet(n_devices: int = 3, seed: int = 42,
         )
     if seeding == "splitmix":
         seeds = seed_stream(seed, n_devices)
+        arrival = "poisson"
     else:
         seeds = [seed + 100 * i for i in range(n_devices)]
+        arrival = "golden"
     specs = []
     for i in range(n_devices):
         device, transient, permanent = _FLEET_TEMPLATES[
@@ -184,6 +244,7 @@ def default_fleet(n_devices: int = 3, seed: int = 42,
             seed=seeds[i],
             transient_rate=transient,
             permanent_rate=permanent,
+            arrival=arrival,
         ))
     return tuple(specs)
 
@@ -194,12 +255,24 @@ def run_device(spec: FleetDeviceSpec,
     """Run one device's workload under monitoring.
 
     Returns ``(service, monitor)`` — the monitor holds the device's
-    sketches and incident timeline, the service the raw records.
+    sketches and incident timeline, the service the raw records.  The
+    arrival stream follows ``spec.arrival`` (golden fixed-cadence
+    replay or per-device Poisson jitter).
     """
+    from repro.errors import ReproError
     monitor = SloMonitor(slos, rules=rules)
-    stream = two_tier_arrivals(n_interactive=spec.n_interactive,
-                               n_background=spec.n_background,
-                               seed=spec.seed)
+    if spec.arrival == "golden":
+        stream = two_tier_arrivals(n_interactive=spec.n_interactive,
+                                   n_background=spec.n_background,
+                                   seed=spec.seed)
+    elif spec.arrival == "poisson":
+        stream = jittered_arrivals(n_interactive=spec.n_interactive,
+                                   n_background=spec.n_background,
+                                   seed=spec.seed)
+    else:
+        raise ReproError(
+            f"arrival must be 'golden' or 'poisson', got "
+            f"{spec.arrival!r}")
     service = _run_two_tier(
         "priority", True, spec.model, spec.device, stream,
         fault_spec=spec.fault_spec(), monitor=monitor,

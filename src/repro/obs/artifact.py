@@ -38,8 +38,12 @@ from typing import Dict, List, Optional
 
 from repro.errors import ReproError
 
-#: Schema identifier stamped into every benchmark artifact.
-from repro.obs.schemas import BENCH_SCHEMA  # noqa: E402 (constant table)
+#: Schema identifiers stamped into benchmark artifacts and
+#: ``bench-compare --json-out`` delta documents.
+from repro.obs.schemas import (  # noqa: E402 (constant table)
+    BENCH_SCHEMA,
+    BENCHDIFF_SCHEMA,
+)
 
 #: Default relative regression threshold (fraction of the baseline).
 DEFAULT_REL_TOL = 0.05
@@ -299,6 +303,44 @@ class Comparison:
             f"{self.abs_tol:g}); 'info' metrics are never gated"
         )
         return table
+
+
+def benchdiff_doc(comparison: Comparison) -> dict:
+    """A comparison as a machine-readable ``repro.benchdiff/v1`` doc.
+
+    ``llmnpu bench-compare --json-out`` writes this; the ``--explain``
+    path consumes it to pick which regressed metrics need critpath
+    attribution.  Deterministic: pure function of the comparison.
+    """
+    return {
+        "schema": BENCHDIFF_SCHEMA,
+        "baseline": comparison.baseline_name,
+        "candidate": comparison.candidate_name,
+        "rel_tol": comparison.rel_tol,
+        "abs_tol": comparison.abs_tol,
+        "ok": comparison.ok,
+        "n_metrics": len(comparison.deltas),
+        "n_regressed": len(comparison.regressions),
+        "deltas": [
+            {
+                "metric": d.metric,
+                "direction": d.direction,
+                "baseline": d.baseline,
+                "candidate": d.candidate,
+                "delta": d.delta,
+                "rel_delta": d.rel_delta,
+                "verdict": d.verdict,
+                "path": d.path,
+            }
+            for d in comparison.deltas
+        ],
+    }
+
+
+def benchdiff_json(comparison: Comparison) -> str:
+    """Deterministic JSON bytes of :func:`benchdiff_doc`."""
+    return json.dumps(benchdiff_doc(comparison), indent=2, sort_keys=True,
+                      allow_nan=False)
 
 
 def compare_artifacts(baseline: BenchArtifact, candidate: BenchArtifact,

@@ -22,6 +22,8 @@ record (emission order) followed by one per metrics instrument;
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 import os
 from typing import Dict, List, Optional, Tuple
@@ -32,6 +34,51 @@ from repro.obs.tracer import Instant, Span, Tracer
 
 #: Serial-execution tolerance, matching ``Trace.validate_serial``.
 _OVERLAP_TOL_S = 1e-12
+
+
+def open_text(path: str, mode: str = "r"):
+    """Open a text file, transparently gzipping on a ``.gz`` suffix.
+
+    1000-device fleet traces run to hundreds of megabytes uncompressed;
+    every JSONL / Chrome-trace / step-log reader and writer routes
+    through here so ``foo.jsonl.gz`` Just Works.  Writes pin the gzip
+    header (``mtime=0``, no embedded filename), so equal text always
+    compresses to equal bytes regardless of path or wall clock —
+    compressed goldens stay byte-diffable.
+    """
+    if path.endswith(".gz"):
+        if "w" in mode:
+            return io.TextIOWrapper(_DeterministicGzipWriter(path),
+                                    encoding="utf-8")
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+class _DeterministicGzipWriter(gzip.GzipFile):
+    """A gzip writer whose bytes depend only on the written text.
+
+    ``GzipFile(path, ...)`` embeds the basename in the header's FNAME
+    field, so renaming a golden changes its bytes; opening the raw
+    stream ourselves with ``filename=""`` (and ``mtime=0``) strips both
+    varying header fields.  Owns the raw stream: closing the writer
+    closes it too (plain ``GzipFile`` leaves external fileobjs open).
+    """
+
+    def __init__(self, path: str):
+        raw = open(path, "wb")
+        try:
+            super().__init__(filename="", mode="wb", fileobj=raw,
+                             mtime=0)
+        except Exception:
+            raw.close()
+            raise
+        self._raw = raw
+
+    def close(self):
+        try:
+            super().close()
+        finally:
+            self._raw.close()
 
 
 def to_chrome_trace(tracer: Tracer,
@@ -146,7 +193,7 @@ def save_chrome_trace(path: str, tracer: Tracer) -> None:
     """Write the Chrome-trace JSON (deterministic byte output)."""
     events = to_chrome_trace(tracer)
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    with open(path, "w") as f:
+    with open_text(path, "w") as f:
         json.dump(events, f, sort_keys=True)
         f.write("\n")
 
@@ -169,7 +216,8 @@ def validate_timeline(events: List[dict], tol: float = _OVERLAP_TOL_S) -> None:
                 )
 
 
-def service_timeline(service, critpath: bool = False) -> Tracer:
+def service_timeline(service, critpath: bool = False,
+                     deltas: Optional[Dict[str, float]] = None) -> Tracer:
     """One merged timeline: service request spans + hw task events.
 
     Takes a traced :class:`~repro.core.service.LlmService` and returns a
@@ -186,6 +234,11 @@ def service_timeline(service, critpath: bool = False) -> Tracer:
     (whether the task sits on its request's critical path), so Perfetto
     can highlight the gating chain — off by default to keep golden
     traces byte-identical.
+
+    ``deltas`` (a ``{task_id: delta_s}`` map, e.g. from
+    :func:`~repro.obs.diff.segment_deltas`) additionally stamps matching
+    hw spans with a ``delta_ms`` arg, painting a run-to-run regression
+    onto the timeline — also off by default.
     """
     merged = Tracer()
     merged.extend(service.tracer.events)
@@ -208,6 +261,8 @@ def service_timeline(service, critpath: bool = False) -> Tracer:
         for ev in timeline.events:
             extra = ({"on_path": ev.task_id in on_path} if critpath
                      else {})
+            if deltas is not None and ev.task_id in deltas:
+                extra["delta_ms"] = deltas[ev.task_id] * 1e3
             merged.span(
                 ev.task_id, proc=proc, thread=ev.proc,
                 start_s=t0 + ev.start_s, end_s=t0 + ev.end_s,
@@ -220,21 +275,25 @@ def service_timeline(service, critpath: bool = False) -> Tracer:
 def export_service_trace(service, path: str,
                          validate: bool = True,
                          counters: bool = False,
-                         critpath: bool = False) -> List[dict]:
+                         critpath: bool = False,
+                         deltas: Optional[Dict[str, float]] = None,
+                         ) -> List[dict]:
     """Merge, optionally validate, and save one service run's timeline.
 
     ``counters`` merges the scheduler counter tracks (queue depth,
     batch occupancy, KV headroom) derived from the run's step records —
     off by default so golden traces stay byte-identical.  ``critpath``
-    stamps hw spans with an ``on_path`` arg (see
-    :func:`service_timeline`).
+    stamps hw spans with an ``on_path`` arg and ``deltas`` with a
+    ``delta_ms`` arg (see :func:`service_timeline`).  A ``.gz`` path
+    writes the trace gzipped.
     """
-    events = to_chrome_trace(service_timeline(service, critpath=critpath),
+    events = to_chrome_trace(service_timeline(service, critpath=critpath,
+                                              deltas=deltas),
                              steps=service.steps if counters else None)
     if validate:
         validate_timeline(events)
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    with open(path, "w") as f:
+    with open_text(path, "w") as f:
         json.dump(events, f, sort_keys=True)
         f.write("\n")
     return events
@@ -259,7 +318,7 @@ def write_jsonl(path: str, tracer: Optional[Tracer] = None,
     """Write one JSON object per line; returns the record count."""
     records = jsonl_records(tracer, metrics)
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    with open(path, "w") as f:
+    with open_text(path, "w") as f:
         for record in records:
             f.write(json.dumps(record, sort_keys=True))
             f.write("\n")
@@ -267,9 +326,9 @@ def write_jsonl(path: str, tracer: Optional[Tracer] = None,
 
 
 def read_jsonl(path: str) -> List[dict]:
-    """Load a JSONL event log back into dicts."""
+    """Load a (possibly gzipped) JSONL event log back into dicts."""
     records = []
-    with open(path) as f:
+    with open_text(path) as f:
         for line in f:
             line = line.strip()
             if line:

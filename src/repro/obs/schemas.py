@@ -35,6 +35,35 @@ STEPS_SCHEMA = "repro.steps/v1"
 #: ``llmnpu critpath``).
 CRITPATH_SCHEMA = "repro.critpath/v1"
 
+#: Run-to-run differential attribution documents (``obs/diff.py``,
+#: ``llmnpu diff``).
+DIFF_SCHEMA = "repro.diff/v1"
+
+#: Machine-readable ``bench-compare`` delta documents
+#: (``llmnpu bench-compare --json-out``).
+BENCHDIFF_SCHEMA = "repro.benchdiff/v1"
+
+#: The ``repro.diff/v1`` per-segment status taxonomy: how an aligned
+#: critical-path segment moved between the base and new runs (see
+#: ``obs/diff.py``).  Lives here so the stdlib-only schema checker
+#: validates against the same closed set the writer enforces.
+DIFF_STATUSES = (
+    "grew",
+    "shrank",
+    "appeared",
+    "vanished",
+    "unchanged",
+)
+
+#: The ``repro.diff/v1`` document kinds — which artifact pair was
+#: aligned (see ``obs/diff.py`` for the per-kind delta sections).
+DIFF_KINDS = (
+    "critpath",
+    "profile",
+    "steps",
+    "fleet",
+)
+
 #: The ``repro.critpath/v1`` edge taxonomy: what gated each on-path
 #: segment (see ``obs/critical_path.py`` for the per-edge semantics).
 #: Lives here so the stdlib-only schema checker validates against the
@@ -79,6 +108,8 @@ SCHEMA_TABLE = {
     SKETCH_SCHEMA: "mergeable quantile sketch",
     STEPS_SCHEMA: "per-step scheduler telemetry + decision log",
     CRITPATH_SCHEMA: "critical-path attribution with per-segment slack",
+    DIFF_SCHEMA: "run-to-run differential attribution",
+    BENCHDIFF_SCHEMA: "bench-compare machine-readable delta report",
 }
 
 __all__ = [
@@ -89,6 +120,11 @@ __all__ = [
     "SKETCH_SCHEMA",
     "STEPS_SCHEMA",
     "CRITPATH_SCHEMA",
+    "DIFF_SCHEMA",
+    "BENCHDIFF_SCHEMA",
+    "DIFF_STATUSES",
+    "DIFF_KINDS",
+    "CRITPATH_EDGES",
     "DECISION_ACTIONS",
     "SCHEMA_TABLE",
 ]

@@ -235,17 +235,21 @@ class StepLogger:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     def save(self, path: str) -> str:
+        """Write the log (gzipped on a ``.gz`` suffix)."""
+        from repro.obs.export import open_text
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-        with open(path, "w") as f:
+        with open_text(path, "w") as f:
             f.write(self.to_json())
             f.write("\n")
         return path
 
 
 def load_steps(path: str) -> dict:
-    """Read and structurally validate a ``repro.steps/v1`` file."""
+    """Read and structurally validate a (possibly gzipped)
+    ``repro.steps/v1`` file."""
+    from repro.obs.export import open_text
     try:
-        with open(path) as f:
+        with open_text(path) as f:
             doc = json.load(f)
     except (OSError, ValueError) as exc:
         raise StepLogError(f"cannot read step log {path!r}: {exc}") from None

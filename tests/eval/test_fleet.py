@@ -157,3 +157,73 @@ class TestDefaultFleet:
     def test_rejects_bad_size(self):
         with pytest.raises(Exception):
             default_fleet(n_devices=0)
+
+
+class TestArrivalJitter:
+    """Satellite: per-device Poisson arrival jitter for splitmix fleets.
+
+    The jitter redraws *when* requests land, never *what* they are —
+    the golden workload samples survive verbatim, and the legacy
+    seeding ladder stays on the fixed golden cadence so committed
+    fleet goldens remain bit-for-bit.
+    """
+
+    def test_jitter_preserves_golden_workload(self):
+        from repro.eval import jittered_arrivals
+        from repro.eval.service_eval import two_tier_arrivals
+        golden = two_tier_arrivals(n_interactive=12, n_background=10,
+                                   seed=42)
+        jittered = jittered_arrivals(n_interactive=12, n_background=10,
+                                     seed=42)
+        assert [(t, s) for t, s, _ in jittered] == \
+            [(t, s) for t, s, _ in golden]
+        assert [t for _, _, t in jittered] != [t for _, _, t in golden]
+
+    def test_jitter_is_deterministic(self):
+        from repro.eval import jittered_arrivals
+        assert jittered_arrivals(seed=7) == jittered_arrivals(seed=7)
+
+    def test_jitter_decorrelates_seeds(self):
+        from repro.eval import jittered_arrivals
+        a = [t for _, _, t in jittered_arrivals(seed=1)]
+        b = [t for _, _, t in jittered_arrivals(seed=2)]
+        assert a != b
+
+    def test_arrivals_are_monotone_per_tier(self):
+        from repro.eval import jittered_arrivals
+        stream = jittered_arrivals(seed=42)
+        for tier in ("interactive", "background"):
+            times = [t for tr, _, t in stream if tr == tier]
+            assert times == sorted(times)
+            assert all(t > 0 for t in times)
+
+    def test_splitmix_fleet_gets_poisson_arrivals(self):
+        for spec in default_fleet(n_devices=4, seed=42,
+                                  seeding="splitmix"):
+            assert spec.arrival == "poisson"
+
+    def test_legacy_fleet_keeps_golden_arrivals(self):
+        for spec in default_fleet(n_devices=3, seed=42,
+                                  seeding="legacy"):
+            assert spec.arrival == "golden"
+
+    def test_run_device_rejects_unknown_arrival(self):
+        from dataclasses import replace
+
+        from repro.errors import ReproError
+        spec = replace(default_fleet(n_devices=1, seed=42)[0],
+                       arrival="bursty")
+        with pytest.raises(ReproError):
+            run_device(spec)
+
+    def test_poisson_devices_diverge_where_golden_clones_agree(self):
+        # two splitmix devices on the same model/device pair used to
+        # replay byte-identical workloads; jitter breaks the tie
+        specs = [s for s in default_fleet(n_devices=6, seed=42)
+                 if s.arrival == "poisson"][:2]
+        assert len(specs) == 2
+        finishes = []
+        for spec in specs:
+            service, _monitor = run_device(spec)
+            finishes.append([r.finish_s for r in service.requests])
+        assert finishes[0] != finishes[1]

@@ -51,9 +51,9 @@ class TestExperimentRegistry:
         # every table and figure of the evaluation section (14) plus the
         # extension ablations, the calibration dashboard, the
         # service-layer experiments (incl. service-batching), fleet-slo,
-        # dma-overlap, and the critical-path trio (service-critpath,
-        # dma-ablation, stage-crossover)
-        assert len(EXPERIMENTS) == 34
+        # dma-overlap, the critical-path trio (service-critpath,
+        # dma-ablation, stage-crossover), and diff-eval
+        assert len(EXPERIMENTS) == 35
         paper = [n for n in EXPERIMENTS
                  if n.startswith(("fig", "table"))]
         assert len(paper) == 14

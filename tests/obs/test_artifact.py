@@ -13,6 +13,8 @@ from repro.eval.report import Table
 from repro.obs import (
     ArtifactError,
     BenchArtifact,
+    benchdiff_doc,
+    benchdiff_json,
     capture_env,
     compare_artifacts,
     compare_paths,
@@ -260,3 +262,77 @@ class TestBenchArtifactDataclass:
     def test_schema_stamped(self):
         artifact = BenchArtifact(name="x", metrics={}, env={})
         assert artifact.to_dict()["schema"] == "repro.bench/v1"
+
+
+class TestZeroBaseline:
+    """A zero-valued golden metric: the relative margin collapses to 0,
+    so the absolute floor max(rel_tol * 0, abs_tol) = abs_tol is what
+    gates — equal values pass, any movement past 1e-9 regresses."""
+
+    @staticmethod
+    def _tables(value):
+        table = Table(title="t", columns=["config", "idle s"])
+        table.add_row("run", value)
+        return table
+
+    def test_zero_golden_equal_candidate_ok(self):
+        base = make_artifact("run", self._tables(0.0), env={})
+        cand = make_artifact("run", self._tables(0.0), env={})
+        comparison = compare_artifacts(base, cand)
+        assert comparison.ok
+        assert comparison.deltas[0].verdict == "ok"
+
+    def test_zero_golden_tiny_drift_within_abs_floor_ok(self):
+        base = make_artifact("run", self._tables(0.0), env={})
+        cand = make_artifact("run", self._tables(5e-10), env={})
+        assert compare_artifacts(base, cand).ok
+
+    def test_zero_golden_real_movement_regresses(self):
+        base = make_artifact("run", self._tables(0.0), env={})
+        cand = make_artifact("run", self._tables(1e-6), env={})
+        comparison = compare_artifacts(base, cand)
+        assert not comparison.ok
+        assert comparison.deltas[0].verdict == "regressed"
+
+    def test_wider_abs_tol_absorbs_the_movement(self):
+        base = make_artifact("run", self._tables(0.0), env={})
+        cand = make_artifact("run", self._tables(1e-6), env={})
+        assert compare_artifacts(base, cand, abs_tol=1e-3).ok
+
+
+class TestBenchdiffDoc:
+    """The machine-readable bench-compare report (repro.benchdiff/v1)."""
+
+    def test_doc_shape_and_counts(self):
+        base = make_artifact("run", latency_table(e2e=2.0), env={})
+        cand = make_artifact("run", latency_table(e2e=2.2), env={})
+        comparison = compare_artifacts(base, cand)
+        doc = benchdiff_doc(comparison)
+        assert doc["schema"] == "repro.benchdiff/v1"
+        assert doc["ok"] is False
+        assert doc["n_metrics"] == len(comparison.deltas)
+        assert doc["n_regressed"] == len(comparison.regressions)
+        metrics = {d["metric"]: d for d in doc["deltas"]}
+        bad = metrics["baseline.e2e_s"]
+        assert bad["verdict"] == "regressed"
+        assert bad["baseline"] == pytest.approx(2.0)
+        assert bad["candidate"] == pytest.approx(2.2)
+
+    def test_json_is_deterministic_and_nan_free(self):
+        base = make_artifact("run", latency_table(), env={})
+        comparison = compare_artifacts(base, base)
+        text = benchdiff_json(comparison)
+        assert text == benchdiff_json(comparison)
+        doc = json.loads(text)
+        assert doc["ok"] is True
+        assert doc["n_regressed"] == 0
+
+    def test_new_and_missing_verdicts_survive_the_doc(self):
+        half = Table(title="t", columns=["config", "e2e s"])
+        half.add_row("baseline", 2.0)
+        base = make_artifact("run", latency_table(), env={})
+        cand = make_artifact("run", half, env={})
+        doc = benchdiff_doc(compare_artifacts(base, cand))
+        verdicts = {d["metric"]: d["verdict"] for d in doc["deltas"]}
+        assert "missing" in verdicts.values()
+        assert doc["n_regressed"] > 0

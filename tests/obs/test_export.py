@@ -1,5 +1,6 @@
 """Exporter tests: unified Perfetto timeline and JSONL event log."""
 
+import gzip
 import json
 
 import pytest
@@ -244,5 +245,81 @@ class TestOnPathMarking:
     def test_marking_does_not_change_the_schedule(self, traced_service):
         plain = service_timeline(traced_service)
         marked = service_timeline(traced_service, critpath=True)
+        assert [(e.name, e.start_s, e.end_s) for e in plain.spans] == \
+            [(e.name, e.start_s, e.end_s) for e in marked.spans]
+
+
+class TestGzipTransparency:
+    """`.gz` suffix routing: every reader/writer round-trips through
+    `open_text`, and equal text compresses to equal bytes anywhere."""
+
+    def test_jsonl_gzip_round_trip(self, tmp_path, traced_service):
+        plain = tmp_path / "events.jsonl"
+        packed = tmp_path / "events.jsonl.gz"
+        write_jsonl(str(plain), tracer=traced_service.tracer,
+                    metrics=traced_service.metrics_registry)
+        write_jsonl(str(packed), tracer=traced_service.tracer,
+                    metrics=traced_service.metrics_registry)
+        assert read_jsonl(str(packed)) == read_jsonl(str(plain))
+        with gzip.open(packed, "rb") as fh:
+            assert fh.read(1) == b"{"
+
+    def test_chrome_trace_gzip_round_trip(self, tmp_path, traced_service):
+        plain = tmp_path / "trace.json"
+        packed = tmp_path / "trace.json.gz"
+        export_service_trace(traced_service, str(plain))
+        export_service_trace(traced_service, str(packed))
+        with open(plain) as fh:
+            want = json.load(fh)
+        with gzip.open(packed, "rt") as fh:
+            assert json.load(fh) == want
+
+    def test_gzip_bytes_independent_of_path_and_clock(self, tmp_path):
+        from repro.obs import open_text
+        payloads = []
+        for name in ("first.gz", "renamed-elsewhere.gz"):
+            path = tmp_path / name
+            with open_text(str(path), "w") as fh:
+                fh.write("golden text\n")
+            payloads.append(path.read_bytes())
+        assert payloads[0] == payloads[1]
+
+    def test_steplog_save_load_gzip(self, tmp_path):
+        from repro.eval import golden_steplog
+        from repro.obs import load_steps
+        steplog = golden_steplog(seed=42, batched=True)
+        plain = tmp_path / "steps.json"
+        packed = tmp_path / "steps.json.gz"
+        steplog.save(str(plain))
+        steplog.save(str(packed))
+        assert load_steps(str(packed)) == load_steps(str(plain))
+
+
+class TestDeltaMarking:
+    """`deltas=` stamps per-task regression milliseconds onto hw spans
+    (fed from `repro.obs.diff.segment_deltas`)."""
+
+    def test_deltas_stamped_on_matching_spans(self, traced_service):
+        # hw spans are named by task id — the same ids segment_deltas
+        # keys its {task_id: delta_s} map with
+        hw = TestOnPathMarking.hw_task_spans(
+            service_timeline(traced_service))
+        assert hw
+        target = hw[0].name
+        marked = service_timeline(traced_service,
+                                  deltas={target: 0.0123})
+        stamped = [e for e in marked.spans
+                   if e.arg("delta_ms") is not None]
+        assert stamped
+        assert all(abs(e.arg("delta_ms") - 12.3) < 1e-9 for e in stamped)
+        assert all(e.name == target for e in stamped)
+
+    def test_no_deltas_means_no_stamp(self, traced_service):
+        merged = service_timeline(traced_service)
+        assert all(e.arg("delta_ms") is None for e in merged.spans)
+
+    def test_marking_with_deltas_keeps_the_schedule(self, traced_service):
+        plain = service_timeline(traced_service)
+        marked = service_timeline(traced_service, deltas={"x": 1.0})
         assert [(e.name, e.start_s, e.end_s) for e in plain.spans] == \
             [(e.name, e.start_s, e.end_s) for e in marked.spans]
